@@ -1,0 +1,29 @@
+"""Benchmark E1 — regenerates the paper's Table I and checks every cell.
+
+Expected: Vortex supports all 28 benchmarks; the Intel HLS model fails
+lbm / backprop / B+tree / dwt2d / LUD with "Not enough BRAM" and
+hybridsort with "Atomics" — cell-for-cell the published table.
+"""
+
+from repro.harness import PAPER_TABLE1, run_coverage
+
+
+def test_table1_coverage(benchmark):
+    report = benchmark.pedantic(run_coverage, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    assert set(report.rows) == set(PAPER_TABLE1)
+    assert report.vortex_passes == 28
+    assert report.hls_passes == 22
+    mismatches = []
+    for name, (vortex, hls) in report.rows.items():
+        want_v, want_h, want_reason = PAPER_TABLE1[name]
+        if vortex.passed != want_v:
+            mismatches.append(f"{name}: vortex {vortex.passed} != {want_v}")
+        if hls.passed != want_h:
+            mismatches.append(f"{name}: hls {hls.passed} != {want_h}")
+        if not want_h and hls.reason != want_reason:
+            mismatches.append(
+                f"{name}: reason {hls.reason!r} != {want_reason!r}")
+    assert not mismatches, mismatches
+    assert report.matches_paper()

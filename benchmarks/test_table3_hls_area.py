@@ -1,0 +1,53 @@
+"""Benchmark E4 — regenerates Table III (HLS areas for vecadd, matmul,
+gauss, BFS).
+
+The vecadd row is calibrated exactly; the remaining rows must hold the
+published *shape*: the complexity ordering by BRAM (vecadd < matmul <
+BFS < gauss), each within 35% of the published absolute count, every
+benchmark fitting the device, and DSP usage "relatively low across
+benchmarks" (the paper's §III-D observation).
+"""
+
+import pytest
+
+from repro.harness import PAPER_TABLE3, run_table3
+from repro.hls import STRATIX10_MX2100
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_table3()
+
+
+def test_table3_generation(benchmark):
+    rep = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    print()
+    print(rep.render())
+    assert set(rep.rows) == set(PAPER_TABLE3)
+
+
+def test_vecadd_row_exact(report):
+    assert report.rows["Vecadd"].brams == 1_065
+    assert report.rows["Vecadd"].dsps == 1
+
+
+def test_bram_complexity_ordering(report):
+    brams = {k: v.brams for k, v in report.rows.items()}
+    assert brams["Vecadd"] < brams["Matmul"] < brams["BFS"] < brams["Gauss"]
+
+
+def test_absolute_brams_within_tolerance(report):
+    for name, area in report.rows.items():
+        paper = PAPER_TABLE3[name][2]
+        assert abs(area.brams - paper) / paper < 0.35, (
+            f"{name}: {area.brams} vs paper {paper}")
+
+
+def test_all_fit_the_device(report):
+    for name, area in report.rows.items():
+        assert area.brams <= STRATIX10_MX2100.brams, name
+
+
+def test_dsps_relatively_low(report):
+    for name, area in report.rows.items():
+        assert area.dsps <= 16, name

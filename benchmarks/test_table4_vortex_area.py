@@ -1,0 +1,62 @@
+"""Benchmark E5 — regenerates Table IV (Vortex synthesis areas).
+
+The component model (uncore + cores + warp tables + lanes + register
+file) must reproduce every published cell within 2%, give exactly the
+published DSP counts (896 / 1,792 — the FPU lanes), and preserve the
+monotonicity the paper highlights: more cores/warps/threads, more area.
+"""
+
+import pytest
+
+from repro.harness import PAPER_TABLE4, run_table4
+from repro.vortex import VortexConfig
+from repro.vortex.area import estimate, synthesize
+from repro.errors import SynthesisError
+from repro.hls import STRATIX10_SX2800
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_table4()
+
+
+def test_table4_generation(benchmark):
+    rep = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    print()
+    print(rep.render())
+    assert rep.max_relative_error() < 0.02
+
+
+def test_dsps_exact(report):
+    for (c, w, t), row in report.rows.items():
+        assert row.dsps == PAPER_TABLE4[(c, w, t)][3]
+
+
+def test_area_monotone_in_geometry(report):
+    assert report.rows[(2, 4, 16)].aluts < report.rows[(2, 8, 16)].aluts \
+        < report.rows[(2, 16, 16)].aluts
+    assert report.rows[(2, 8, 16)].aluts < report.rows[(4, 8, 16)].aluts
+    assert report.rows[(4, 8, 16)].aluts < report.rows[(4, 16, 16)].aluts
+
+
+def test_paper_configs_fit_sx2800(report):
+    for (c, w, t) in PAPER_TABLE4:
+        synthesize(VortexConfig(cores=c, warps=w, threads=t),
+                   STRATIX10_SX2800)
+
+
+def test_oversized_config_rejected():
+    with pytest.raises(SynthesisError):
+        synthesize(VortexConfig(cores=32, warps=16, threads=16),
+                   STRATIX10_SX2800)
+
+
+def test_hls_vs_softgpu_range_contrast(report):
+    """§III-D: the soft GPU offers a broad range of areas from one
+    source-independent design; vecadd-on-HLS is smaller than any
+    Vortex configuration in the table."""
+    from repro.harness import run_table3
+
+    vecadd_hls = run_table3().rows["Vecadd"]
+    smallest_vortex = min(r.brams for r in report.rows.values())
+    assert vecadd_hls.brams < smallest_vortex

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""The paper's §IV-A research direction, implemented: pick a Vortex
+configuration analytically instead of sweeping the simulator.
+
+"Testing all the hardware combinations in the hardware needs
+resynthesizing and effort. ... a valuable opportunity exists for
+research aimed at minimizing or circumventing the exploration space by
+leveraging the application's characteristics and proposing an analytical
+model for Vortex's performance."
+
+This script profiles vecadd **once** with the functional interpreter
+(configuration-independent), predicts cycles for all sixteen
+(warps, threads) configurations from closed-form bounds, then checks the
+recommendation against the full cycle-level sweep.
+"""
+
+import time
+
+import numpy as np
+
+from repro.benchmarks import get_benchmark
+from repro.harness import run_sweep
+from repro.harness.tables import render_table
+from repro.ocl import NDRange
+from repro.vortex import KernelProfile, explore, recommend
+
+
+def main():
+    bench = get_benchmark("vecadd")
+    kernel = bench.build()[0]
+    rng = np.random.default_rng(0)
+    n = 4096
+    args = [rng.random(n, dtype=np.float32),
+            rng.random(n, dtype=np.float32),
+            np.zeros(n, dtype=np.float32), n]
+
+    t0 = time.perf_counter()
+    profile = KernelProfile.collect(kernel, args, NDRange.create(n, 16))
+    predictions = explore(profile)
+    t_model = time.perf_counter() - t0
+    picks = recommend(predictions, top=3)
+
+    print(f"profile: {profile}")
+    print(f"model evaluated 16 configurations in {t_model:.2f}s")
+    print(f"recommended configurations: {picks}\n")
+
+    t0 = time.perf_counter()
+    sweep = run_sweep("vecadd")
+    t_sim = time.perf_counter() - t0
+    print(f"cycle-level sweep of the same grid took {t_sim:.1f}s "
+          f"({t_sim / max(t_model, 1e-9):.0f}x the model)\n")
+
+    rows = []
+    for key in sorted(predictions):
+        pred = predictions[key]
+        rows.append([
+            f"{key[0]}w{key[1]}t",
+            f"{pred.cycles:,.0f}",
+            pred.bottleneck,
+            f"{sweep.cycles[key]:,}",
+        ])
+    print(render_table(
+        ["config", "predicted cycles", "bottleneck", "simulated cycles"],
+        rows, title="analytical model vs SimX (vecadd, 4 cores)"))
+
+    best = sweep.best
+    pick = picks[0]
+    regret = sweep.cycles[pick] / sweep.cycles[best] - 1
+    print(f"\ntrue optimum: {best}; model's pick: {pick}; "
+          f"regret: {regret:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""The paper's §III-B case study: shrinking backprop's HLS footprint.
+
+Walks the three source variants of ``bpnn_adjust_weights`` (the paper's
+Fig. 6 listings) through the HLS area model:
+
+* original code      — ~188% of the MX2100's BRAM: synthesis fails;
+* O1 variable reuse  — ~144%: still fails;
+* O2 pipelined load  — ~83%: first variant that fits.
+
+Also prints the per-component area breakdown (showing the
+burst-coalesced load units dominating, "over 1,000 BRAM blocks per
+line") and an ablation: how much of O1 the compiler's automatic CSE pass
+recovers without touching the source.
+"""
+
+from repro.benchmarks import backprop
+from repro.harness import run_auto_cse_ablation, run_case_study
+from repro.hls import aoc, format_breakdown
+
+
+def main():
+    report = run_case_study()
+    print(report.render())
+    print()
+
+    area = aoc(backprop.build_original(), enforce_capacity=False)
+    print(format_breakdown(
+        area, title="Original-code component breakdown:"))
+    print()
+
+    ablation = run_auto_cse_ablation()
+    print("Automatic-CSE ablation (BRAM blocks):")
+    print(f"  original source   : {ablation['original']:,}")
+    print(f"  + automatic CSE   : {ablation['auto_cse']:,}")
+    print(f"  manual O1 source  : {ablation['manual_o1']:,}")
+    print()
+    print("The automatic pass merges the duplicated loads in *both*")
+    print("halves of the kernel, so it recovers more than the paper's")
+    print("manual O1 rewrite (which only touched the main half) — but")
+    print("neither fits the board without the O2 pipelined-load trade.")
+
+
+if __name__ == "__main__":
+    main()

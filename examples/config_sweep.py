@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""The paper's Figure 7: Vortex hardware-configuration exploration.
+
+Sweeps vecadd and transpose over warps x threads in {2,4,8,16}^2 on the
+4-core SimX model and prints normalized-cycle heatmaps (light = fast,
+like the paper's figure), plus the measured-vs-paper ratio table for the
+configurations the paper quotes.
+
+This is the §IV-A "challenge 1" in action: the optimal configuration is
+application-dependent, so per-application design-space exploration on
+the simulator (rather than resynthesis) is essential.
+"""
+
+from repro.harness import render_comparison, run_sweep
+
+
+def main():
+    results = []
+    for benchmark in ("vecadd", "transpose"):
+        result = run_sweep(benchmark)
+        results.append(result)
+        print(result.render())
+        print(f"  LSU stalls at best {result.best}: "
+              f"{result.lsu_stalls[result.best]:,}")
+        worst = max(result.cycles, key=result.cycles.get)
+        print(f"  LSU stalls at worst {worst}: "
+              f"{result.lsu_stalls[worst]:,}")
+        print()
+    print(render_comparison(results))
+
+
+if __name__ == "__main__":
+    main()

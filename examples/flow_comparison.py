@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Run the whole benchmark suite through both flows and tabulate the
+outcome — coverage plus the cycle estimates each model reports.
+
+The paper deliberately centres on *coverage* ("the performance of both
+platforms heavily relies on the quality of HLS compiler optimizations
+and the GPU softcore", §I), so treat the cycle columns as model
+estimates for relative exploration, not as a benchmarked comparison of
+the real systems.
+"""
+
+from repro.benchmarks import all_benchmarks, run_benchmark
+from repro.harness.tables import render_table
+from repro.hls import HLSBackend
+from repro.vortex import VortexBackend, VortexConfig
+
+
+def main():
+    rows = []
+    vortex_backend_cfg = VortexConfig()  # 4c8w8t on DDR4 (SX2800-like)
+    for bench in all_benchmarks():
+        vortex = run_benchmark(bench, VortexBackend(vortex_backend_cfg))
+        hls = run_benchmark(bench, HLSBackend())
+        v_cycles = f"{vortex.total_cycles:,}" if vortex.ok else "-"
+        if hls.ok:
+            h_cycles = f"{hls.total_cycles:,}"
+        else:
+            h_cycles = f"fail: {hls.fail_reason}"
+        rows.append([
+            bench.table_name,
+            "O" if vortex.ok else "X",
+            v_cycles,
+            "O" if hls.ok else "X",
+            h_cycles,
+        ])
+    print(render_table(
+        ["Benchmark", "Vortex", "Vortex cycles", "Intel HLS", "HLS cycles"],
+        rows,
+        title="Both flows across the Table I suite (model estimates)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

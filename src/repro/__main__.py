@@ -1,0 +1,90 @@
+"""Command-line entry point: regenerate the paper's artifacts.
+
+Usage::
+
+    python -m repro table1      # coverage
+    python -m repro table2      # backprop case study
+    python -m repro table3      # HLS areas
+    python -m repro table4      # Vortex areas
+    python -m repro fig7        # warp/thread sweep (slowest, ~1 min)
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _table1() -> None:
+    from .harness import run_coverage
+
+    report = run_coverage()
+    print(report.render())
+    print(f"\nVortex {report.vortex_passes}/28, "
+          f"Intel SDK {report.hls_passes}/28; "
+          f"matches paper: {report.matches_paper()}")
+
+
+def _table2() -> None:
+    from .harness import run_auto_cse_ablation, run_case_study
+
+    print(run_case_study().render())
+    ablation = run_auto_cse_ablation()
+    print(f"\nauto-CSE ablation (BRAMs): {ablation}")
+
+
+def _table3() -> None:
+    from .harness import run_table3
+
+    print(run_table3().render())
+
+
+def _table4() -> None:
+    from .harness import run_table4
+
+    report = run_table4()
+    print(report.render())
+    print(f"\nmax relative error vs paper: "
+          f"{report.max_relative_error():.2%}")
+
+
+def _fig7() -> None:
+    from .harness import render_comparison, run_sweep
+
+    results = []
+    for benchmark in ("vecadd", "transpose"):
+        result = run_sweep(benchmark)
+        results.append(result)
+        print(result.render())
+        print()
+    print(render_comparison(results))
+
+
+_COMMANDS = {
+    "table1": _table1,
+    "table2": _table2,
+    "table3": _table3,
+    "table4": _table4,
+    "fig7": _fig7,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("artifact", choices=sorted(_COMMANDS) + ["all"])
+    args = parser.parse_args(argv)
+    if args.artifact == "all":
+        for name in ("table1", "table2", "table3", "table4", "fig7"):
+            print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+            _COMMANDS[name]()
+    else:
+        _COMMANDS[args.artifact]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

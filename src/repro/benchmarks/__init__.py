@@ -1,0 +1,24 @@
+"""The 28-benchmark suite of the paper's Table I.
+
+Benchmarks are re-implementations of the Rodinia / NVIDIA OpenCL SDK /
+Parboil / Vortex-sample workloads against this repository's kernel IR,
+each with a deterministic workload generator and a numpy golden model.
+"""
+
+from .suite import (
+    Benchmark,
+    BenchmarkResult,
+    all_benchmarks,
+    coverage_row,
+    get_benchmark,
+    run_benchmark,
+)
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkResult",
+    "all_benchmarks",
+    "coverage_row",
+    "get_benchmark",
+    "run_benchmark",
+]

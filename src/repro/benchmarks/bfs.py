@@ -1,0 +1,135 @@
+"""BFS — breadth-first search (Rodinia): the two-kernel frontier
+expansion with data-dependent (indirect) neighbour accesses; its HLS
+area signature (Table III: 5,892 BRAMs) comes from those gathers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import GLOBAL_INT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+
+def _kernel1():
+    b = KernelBuilder("bfs_kernel1")
+    starts = b.param("starts", GLOBAL_INT32)
+    degrees = b.param("degrees", GLOBAL_INT32)
+    edges = b.param("edges", GLOBAL_INT32)
+    frontier = b.param("frontier", GLOBAL_INT32)
+    updating = b.param("updating", GLOBAL_INT32)
+    visited = b.param("visited", GLOBAL_INT32)
+    cost = b.param("cost", GLOBAL_INT32)
+    nnodes = b.param("nnodes", INT32)
+    tid = b.global_id(0)
+    with b.if_(b.lt(tid, nnodes)):
+        with b.if_(b.ne(b.load(frontier, tid), 0)):
+            b.store(frontier, tid, 0)
+            start = b.load(starts, tid)
+            degree = b.load(degrees, tid)
+            my_cost = b.load(cost, tid)
+            with b.for_range(0, degree) as i:
+                nbr = b.load(edges, b.add(start, i))
+                with b.if_(b.eq(b.load(visited, nbr), 0)):
+                    b.store(cost, nbr, b.add(my_cost, 1))
+                    b.store(updating, nbr, 1)
+    return b.finish()
+
+
+def _kernel2():
+    b = KernelBuilder("bfs_kernel2")
+    frontier = b.param("frontier", GLOBAL_INT32)
+    updating = b.param("updating", GLOBAL_INT32)
+    visited = b.param("visited", GLOBAL_INT32)
+    stop = b.param("stop", GLOBAL_INT32)
+    nnodes = b.param("nnodes", INT32)
+    tid = b.global_id(0)
+    with b.if_(b.lt(tid, nnodes)):
+        with b.if_(b.ne(b.load(updating, tid), 0)):
+            b.store(frontier, tid, 1)
+            b.store(visited, tid, 1)
+            b.store(stop, 0, 1)
+            b.store(updating, tid, 0)
+    return b.finish()
+
+
+def build():
+    return [_kernel1(), _kernel2()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    nnodes = 32 * scale
+    starts, degrees, edges = [], [], []
+    for node in range(nnodes):
+        deg = int(rng.integers(1, 5))
+        nbrs = rng.choice(nnodes, size=deg, replace=False)
+        starts.append(len(edges))
+        degrees.append(deg)
+        edges.extend(int(x) for x in nbrs)
+    return {
+        "nnodes": nnodes,
+        "source": 0,
+        "starts": np.array(starts, dtype=np.int32),
+        "degrees": np.array(degrees, dtype=np.int32),
+        "edges": np.array(edges, dtype=np.int32),
+    }
+
+
+def run(ctx, prog, wl) -> dict:
+    n = wl["nnodes"]
+    starts = ctx.buffer(wl["starts"])
+    degrees = ctx.buffer(wl["degrees"])
+    edges = ctx.buffer(wl["edges"])
+    frontier = ctx.alloc(n, np.int32)
+    updating = ctx.alloc(n, np.int32)
+    visited = ctx.alloc(n, np.int32)
+    cost_init = np.full(n, -1, dtype=np.int32)
+    cost_init[wl["source"]] = 0
+    cost = ctx.buffer(cost_init)
+    f0 = np.zeros(n, dtype=np.int32)
+    f0[wl["source"]] = 1
+    frontier.write(f0)
+    v0 = np.zeros(n, dtype=np.int32)
+    v0[wl["source"]] = 1
+    visited.write(v0)
+    stop = ctx.alloc(1, np.int32)
+    for _ in range(n):
+        stop.write(np.zeros(1, dtype=np.int32))
+        prog.launch("bfs_kernel1",
+                    [starts, degrees, edges, frontier, updating, visited,
+                     cost, n], global_size=n, local_size=8)
+        prog.launch("bfs_kernel2",
+                    [frontier, updating, visited, stop, n],
+                    global_size=n, local_size=8)
+        if stop.read()[0] == 0:
+            break
+    return {"cost": cost.read()}
+
+
+def reference(wl) -> dict:
+    n = wl["nnodes"]
+    cost = np.full(n, -1, dtype=np.int32)
+    cost[wl["source"]] = 0
+    queue = [wl["source"]]
+    while queue:
+        nxt = []
+        for node in queue:
+            s, d = wl["starts"][node], wl["degrees"][node]
+            for e in wl["edges"][s: s + d]:
+                if cost[e] == -1:
+                    cost[e] = cost[node] + 1
+                    nxt.append(int(e))
+        queue = nxt
+    return {"cost": cost}
+
+
+register(Benchmark(
+    name="bfs",
+    table_name="BFS",
+    source="rodinia",
+    tags=frozenset({"indirect", "divergent", "multi_kernel"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+))

@@ -1,0 +1,141 @@
+"""Blackscholes — European option pricing (NVIDIA OpenCL SDK sample).
+
+Compute-heavy: log/sqrt/exp plus a polynomial CND approximation per
+option; the benchmark in the suite with the highest arithmetic density.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import FLOAT32, GLOBAL_FLOAT32, INT32, KernelBuilder, Value
+from .suite import Benchmark, register
+
+_A1, _A2, _A3, _A4, _A5 = (
+    0.31938153, -0.356563782, 1.781477937, -1.821255978, 1.330274429)
+_RSQRT2PI = 0.39894228040143267794
+
+
+def _cnd(b: KernelBuilder, d: Value) -> Value:
+    """Cumulative normal distribution, the SDK's polynomial form."""
+    k = b.div(b.const(1.0), b.add(b.const(1.0),
+                                  b.mul(b.const(0.2316419), b.abs(d))))
+    poly = b.mul(
+        k,
+        b.add(
+            b.const(_A1),
+            b.mul(
+                k,
+                b.add(
+                    b.const(_A2),
+                    b.mul(
+                        k,
+                        b.add(
+                            b.const(_A3),
+                            b.mul(k, b.add(b.const(_A4),
+                                           b.mul(k, b.const(_A5)))),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+    pdf = b.mul(b.const(_RSQRT2PI),
+                b.exp(b.mul(b.const(-0.5), b.mul(d, d))))
+    cnd = b.mul(pdf, poly)
+    return b.select(b.gt(d, 0.0), b.sub(b.const(1.0), cnd), cnd)
+
+
+def build():
+    b = KernelBuilder("blackscholes")
+    s = b.param("S", GLOBAL_FLOAT32)
+    x = b.param("X", GLOBAL_FLOAT32)
+    t = b.param("T", GLOBAL_FLOAT32)
+    call = b.param("call", GLOBAL_FLOAT32)
+    put = b.param("put", GLOBAL_FLOAT32)
+    n = b.param("n", INT32)
+    r = b.param("r", FLOAT32)
+    v = b.param("v", FLOAT32)
+    gid = b.global_id(0)
+    with b.if_(b.lt(gid, n)):
+        sv = b.load(s, gid)
+        xv = b.load(x, gid)
+        tv = b.load(t, gid)
+        sqrt_t = b.sqrt(tv)
+        d1 = b.div(
+            b.add(b.log(b.div(sv, xv)),
+                  b.mul(b.add(r, b.mul(b.const(0.5), b.mul(v, v))), tv)),
+            b.mul(v, sqrt_t),
+        )
+        d2 = b.sub(d1, b.mul(v, sqrt_t))
+        cnd1 = _cnd(b, d1)
+        cnd2 = _cnd(b, d2)
+        exp_rt = b.exp(b.mul(b.neg(r), tv))
+        callv = b.sub(b.mul(sv, cnd1), b.mul(b.mul(xv, exp_rt), cnd2))
+        putv = b.sub(
+            b.mul(b.mul(xv, exp_rt), b.sub(b.const(1.0), cnd2)),
+            b.mul(sv, b.sub(b.const(1.0), cnd1)),
+        )
+        b.store(call, gid, callv)
+        b.store(put, gid, putv)
+    return [b.finish()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    n = 128 * scale
+    return {
+        "n": n,
+        "S": (rng.random(n, dtype=np.float32) * 25 + 5),
+        "X": (rng.random(n, dtype=np.float32) * 90 + 10),
+        "T": (rng.random(n, dtype=np.float32) * 9.75 + 0.25),
+        "r": 0.02,
+        "v": 0.30,
+    }
+
+
+def run(ctx, prog, wl) -> dict:
+    s = ctx.buffer(wl["S"])
+    x = ctx.buffer(wl["X"])
+    t = ctx.buffer(wl["T"])
+    call = ctx.alloc(wl["n"])
+    put = ctx.alloc(wl["n"])
+    prog.launch("blackscholes",
+                [s, x, t, call, put, wl["n"], wl["r"], wl["v"]],
+                global_size=wl["n"], local_size=16)
+    return {"call": call.read(), "put": put.read()}
+
+
+def _cnd_np(d):
+    k = 1.0 / (1.0 + 0.2316419 * np.abs(d))
+    poly = k * (_A1 + k * (_A2 + k * (_A3 + k * (_A4 + k * _A5))))
+    cnd = _RSQRT2PI * np.exp(-0.5 * d * d) * poly
+    return np.where(d > 0, 1.0 - cnd, cnd)
+
+
+def reference(wl) -> dict:
+    s = wl["S"].astype(np.float64)
+    x = wl["X"].astype(np.float64)
+    t = wl["T"].astype(np.float64)
+    r, v = wl["r"], wl["v"]
+    sqrt_t = np.sqrt(t)
+    d1 = (np.log(s / x) + (r + 0.5 * v * v) * t) / (v * sqrt_t)
+    d2 = d1 - v * sqrt_t
+    cnd1, cnd2 = _cnd_np(d1), _cnd_np(d2)
+    exp_rt = np.exp(-r * t)
+    call = s * cnd1 - x * exp_rt * cnd2
+    put = x * exp_rt * (1.0 - cnd2) - s * (1.0 - cnd1)
+    return {"call": call.astype(np.float32), "put": put.astype(np.float32)}
+
+
+register(Benchmark(
+    name="blackscholes",
+    table_name="Blackscholes",
+    source="nvidia_sdk",
+    tags=frozenset({"compute", "transcendental"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+    tolerance=5e-2,
+))

@@ -1,0 +1,176 @@
+"""B+tree — findK and findRangeK query kernels (Rodinia).
+
+Pointer-chasing over a flattened B+tree: every level dereferences
+data-dependent node offsets, so both kernels are walls of indirect
+load/store units — together they exceed the MX2100's BRAM (Table I).
+The traversal depth is uniform (all leaves at the same level), so the
+walk is a uniform loop with branch-free child selection, exactly how the
+Rodinia OpenCL kernel is structured.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import GLOBAL_INT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+ORDER = 4  # keys per node
+
+
+def _walk(b, keys, children, node_var, query):
+    """One level: node = children[node*ORDER + #(keys <= query)]."""
+    slot = b.var("slot", INT32, init=0)
+    with b.for_range(0, ORDER) as i:
+        kv = b.load(keys, b.add(b.mul(node_var.get(), ORDER), i))
+        take = b.le(kv, query)
+        slot.set(b.add(slot.get(), b.zext(take)))
+    node_var.set(b.load(children,
+                        b.add(b.mul(node_var.get(), ORDER + 1), slot.get())))
+
+
+def _findk():
+    b = KernelBuilder("findK")
+    keys = b.param("keys", GLOBAL_INT32)
+    children = b.param("children", GLOBAL_INT32)
+    leaf_vals = b.param("leaf_vals", GLOBAL_INT32)
+    queries = b.param("queries", GLOBAL_INT32)
+    out = b.param("out", GLOBAL_INT32)
+    height = b.param("height", INT32)
+    nq = b.param("nq", INT32)
+    gid = b.global_id(0)
+    with b.if_(b.lt(gid, nq)):
+        q = b.load(queries, gid)
+        node = b.var("node", INT32, init=0)
+        with b.for_range(0, height):
+            _walk(b, keys, children, node, q)
+        # At the leaf: select the matching key's value (or -1).
+        found = b.var("found", INT32, init=-1)
+        with b.for_range(0, ORDER) as i:
+            koff = b.add(b.mul(node.get(), ORDER), i)
+            match = b.eq(b.load(keys, koff), q)
+            found.set(b.select(match, b.load(leaf_vals, koff),
+                               found.get()))
+        b.store(out, gid, found.get())
+    return b.finish()
+
+
+def _find_range_k():
+    b = KernelBuilder("findRangeK")
+    keys = b.param("keys", GLOBAL_INT32)
+    children = b.param("children", GLOBAL_INT32)
+    queries_lo = b.param("queries_lo", GLOBAL_INT32)
+    queries_hi = b.param("queries_hi", GLOBAL_INT32)
+    count = b.param("count", GLOBAL_INT32)
+    height = b.param("height", INT32)
+    nq = b.param("nq", INT32)
+    nleaf_base = b.param("nleaf_base", INT32)  # first leaf node id
+    nleaves = b.param("nleaves", INT32)
+    gid = b.global_id(0)
+    with b.if_(b.lt(gid, nq)):
+        lo = b.load(queries_lo, gid)
+        hi = b.load(queries_hi, gid)
+        node_lo = b.var("node_lo", INT32, init=0)
+        node_hi = b.var("node_hi", INT32, init=0)
+        with b.for_range(0, height):
+            _walk(b, keys, children, node_lo, lo)
+            _walk(b, keys, children, node_hi, hi)
+        # Count keys in [lo, hi] across the leaf span.
+        total = b.var("total", INT32, init=0)
+        first = b.sub(node_lo.get(), nleaf_base)
+        last = b.sub(node_hi.get(), nleaf_base)
+        with b.for_range(0, nleaves) as leaf:
+            in_span = b.logical_and(b.ge(leaf, first), b.le(leaf, last))
+            with b.for_range(0, ORDER) as i:
+                node = b.add(nleaf_base, leaf)
+                kv = b.load(keys, b.add(b.mul(node, ORDER), i))
+                hit = b.logical_and(
+                    in_span,
+                    b.logical_and(b.ge(kv, lo), b.le(kv, hi)),
+                )
+                total.set(b.add(total.get(), b.zext(hit)))
+        b.store(count, gid, total.get())
+    return b.finish()
+
+
+def build():
+    return [_findk(), _find_range_k()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    # Two-level tree: root + ORDER+1 leaves, each with ORDER keys.
+    nleaves = ORDER + 1
+    nkeys = nleaves * ORDER
+    keys_sorted = np.sort(rng.choice(1000, size=nkeys, replace=False)
+                          ).astype(np.int32)
+    nnodes = 1 + nleaves
+    keys = np.full((nnodes, ORDER), 2**30, dtype=np.int32)
+    children = np.zeros((nnodes, ORDER + 1), dtype=np.int32)
+    leaf_vals = np.zeros((nnodes, ORDER), dtype=np.int32)
+    leaves = keys_sorted.reshape(nleaves, ORDER)
+    for leaf in range(nleaves):
+        keys[1 + leaf] = leaves[leaf]
+        leaf_vals[1 + leaf] = leaves[leaf] * 7  # value = 7 * key
+    # Root separators: first key of leaves 1..ORDER.
+    keys[0, :] = [int(leaves[i + 1, 0]) for i in range(ORDER)]
+    children[0, :] = np.arange(1, nleaves + 1, dtype=np.int32)
+    nq = 16 * scale
+    queries = rng.choice(keys_sorted, size=nq).astype(np.int32)
+    lo = rng.integers(0, 500, nq).astype(np.int32)
+    hi = (lo + rng.integers(0, 500, nq)).astype(np.int32)
+    return {
+        "height": 1,
+        "nleaf_base": 1,
+        "nleaves": nleaves,
+        "nq": nq,
+        "keys": keys.reshape(-1),
+        "children": children.reshape(-1),
+        "leaf_vals": leaf_vals.reshape(-1),
+        "queries": queries,
+        "queries_lo": lo,
+        "queries_hi": hi,
+        "sorted_keys": keys_sorted,
+    }
+
+
+def run(ctx, prog, wl) -> dict:
+    keys = ctx.buffer(wl["keys"])
+    children = ctx.buffer(wl["children"])
+    leaf_vals = ctx.buffer(wl["leaf_vals"])
+    queries = ctx.buffer(wl["queries"])
+    out = ctx.alloc(wl["nq"], np.int32)
+    prog.launch("findK",
+                [keys, children, leaf_vals, queries, out, wl["height"],
+                 wl["nq"]], global_size=wl["nq"], local_size=8)
+    qlo = ctx.buffer(wl["queries_lo"])
+    qhi = ctx.buffer(wl["queries_hi"])
+    count = ctx.alloc(wl["nq"], np.int32)
+    prog.launch("findRangeK",
+                [keys, children, qlo, qhi, count, wl["height"], wl["nq"],
+                 wl["nleaf_base"], wl["nleaves"]],
+                global_size=wl["nq"], local_size=8)
+    return {"out": out.read(), "count": count.read()}
+
+
+def reference(wl) -> dict:
+    sk = wl["sorted_keys"]
+    out = np.array([k * 7 for k in wl["queries"]], dtype=np.int32)
+    count = np.array(
+        [int(((sk >= lo) & (sk <= hi)).sum())
+         for lo, hi in zip(wl["queries_lo"], wl["queries_hi"])],
+        dtype=np.int32,
+    )
+    return {"out": out, "count": count}
+
+
+register(Benchmark(
+    name="btree",
+    table_name="B+tree",
+    source="rodinia",
+    tags=frozenset({"indirect", "multi_kernel", "bram_heavy"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+))

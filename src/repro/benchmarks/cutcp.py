@@ -1,0 +1,103 @@
+"""Cutcp — cutoff Coulombic potential on a 3-D lattice (Parboil): each
+lattice point accumulates charge/distance over all atoms within a cutoff
+radius (divergent contribution test per atom)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import FLOAT32, GLOBAL_FLOAT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+
+def build():
+    b = KernelBuilder("cutcp")
+    ax = b.param("ax", GLOBAL_FLOAT32)
+    ay = b.param("ay", GLOBAL_FLOAT32)
+    az = b.param("az", GLOBAL_FLOAT32)
+    aq = b.param("aq", GLOBAL_FLOAT32)
+    lattice = b.param("lattice", GLOBAL_FLOAT32)
+    natoms = b.param("natoms", INT32)
+    nx = b.param("nx", INT32)
+    ny = b.param("ny", INT32)
+    spacing = b.param("spacing", FLOAT32)
+    cutoff2 = b.param("cutoff2", FLOAT32)
+    gx = b.global_id(0)
+    gy = b.global_id(1)
+    gz = b.global_id(2)
+    px = b.mul(b.itof(gx), spacing)
+    py = b.mul(b.itof(gy), spacing)
+    pz = b.mul(b.itof(gz), spacing)
+    acc = b.var("acc", FLOAT32, init=0.0)
+    with b.for_range(0, natoms) as i:
+        dx = b.sub(b.load(ax, i), px)
+        dy = b.sub(b.load(ay, i), py)
+        dz = b.sub(b.load(az, i), pz)
+        r2 = b.add(b.add(b.mul(dx, dx), b.mul(dy, dy)), b.mul(dz, dz))
+        inside = b.lt(r2, cutoff2)
+        # Branch-free contribution (GPU-friendly form): s*(1/sqrt(r2))*q.
+        inv_r = b.div(b.const(1.0), b.sqrt(b.add(r2, b.const(1e-6))))
+        contrib = b.mul(b.load(aq, i), inv_r)
+        acc.set(b.add(acc.get(),
+                      b.select(inside, contrib, b.const(0.0))))
+    idx = b.add(b.add(b.mul(gz, b.mul(nx, ny)), b.mul(gy, nx)), gx)
+    b.store(lattice, idx, acc.get())
+    return [b.finish()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    nx = ny = nz = 4 * scale
+    natoms = 16 * scale
+    spacing = 0.5
+    extent = nx * spacing
+    return {
+        "nx": nx, "ny": ny, "nz": nz, "natoms": natoms,
+        "spacing": spacing, "cutoff2": 1.5,
+        "ax": (rng.random(natoms, dtype=np.float32) * extent),
+        "ay": (rng.random(natoms, dtype=np.float32) * extent),
+        "az": (rng.random(natoms, dtype=np.float32) * extent),
+        "aq": (rng.random(natoms, dtype=np.float32) * 2 - 1),
+    }
+
+
+def run(ctx, prog, wl) -> dict:
+    nx, ny, nz = wl["nx"], wl["ny"], wl["nz"]
+    bufs = [ctx.buffer(wl[k]) for k in ("ax", "ay", "az", "aq")]
+    lattice = ctx.alloc(nx * ny * nz)
+    prog.launch(
+        "cutcp",
+        bufs + [lattice, wl["natoms"], nx, ny, wl["spacing"], wl["cutoff2"]],
+        global_size=(nx, ny, nz), local_size=(4, 2, 1),
+    )
+    return {"lattice": lattice.read()}
+
+
+def reference(wl) -> dict:
+    nx, ny, nz = wl["nx"], wl["ny"], wl["nz"]
+    xs = np.arange(nx) * np.float32(wl["spacing"])
+    ys = np.arange(ny) * np.float32(wl["spacing"])
+    zs = np.arange(nz) * np.float32(wl["spacing"])
+    gz, gy, gx = np.meshgrid(zs, ys, xs, indexing="ij")
+    out = np.zeros((nz, ny, nx), dtype=np.float64)
+    for i in range(wl["natoms"]):
+        dx = wl["ax"][i] - gx
+        dy = wl["ay"][i] - gy
+        dz = wl["az"][i] - gz
+        r2 = dx * dx + dy * dy + dz * dz
+        contrib = wl["aq"][i] / np.sqrt(r2 + 1e-6)
+        out += np.where(r2 < wl["cutoff2"], contrib, 0.0)
+    return {"lattice": out.astype(np.float32).reshape(-1)}
+
+
+register(Benchmark(
+    name="cutcp",
+    table_name="Cutcp",
+    source="parboil",
+    tags=frozenset({"compute", "divergent"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+    tolerance=5e-3,
+))

@@ -1,0 +1,85 @@
+"""Dotproduct — partial dot products with a local-memory tree reduction
+(NVIDIA OpenCL SDK sample). Exercises local arrays and barriers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import FLOAT32, GLOBAL_FLOAT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+_LOCAL = 8
+
+
+def build():
+    b = KernelBuilder("dotproduct")
+    x = b.param("x", GLOBAL_FLOAT32)
+    y = b.param("y", GLOBAL_FLOAT32)
+    partial = b.param("partial", GLOBAL_FLOAT32)
+    n = b.param("n", INT32)
+    scratch = b.local_array("scratch", FLOAT32, _LOCAL)
+    gid = b.global_id(0)
+    lid = b.local_id(0)
+    grp = b.group_id(0)
+    v = b.var("v", FLOAT32, init=0.0)
+    with b.if_(b.lt(gid, n)):
+        v.set(b.mul(b.load(x, gid), b.load(y, gid)))
+    b.store(scratch, lid, v.get())
+    b.barrier()
+    stride = b.var("stride", INT32, init=_LOCAL // 2)
+    with b.while_(lambda: b.gt(stride.get(), 0)):
+        with b.if_(b.lt(lid, stride.get())):
+            a = b.load(scratch, lid)
+            c = b.load(scratch, b.add(lid, stride.get()))
+            b.store(scratch, lid, b.add(a, c))
+        b.barrier()
+        stride.set(b.div(stride.get(), 2))
+    with b.if_(b.eq(lid, 0)):
+        b.store(partial, grp, b.load(scratch, 0))
+    return [b.finish()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    n = 128 * scale
+    return {
+        "n": n,
+        "x": rng.random(n, dtype=np.float32),
+        "y": rng.random(n, dtype=np.float32),
+    }
+
+
+def run(ctx, prog, wl) -> dict:
+    n = wl["n"]
+    groups = n // _LOCAL
+    x = ctx.buffer(wl["x"])
+    y = ctx.buffer(wl["y"])
+    partial = ctx.alloc(groups)
+    prog.launch("dotproduct", [x, y, partial, n],
+                global_size=n, local_size=_LOCAL)
+    return {"partial": partial.read()}
+
+
+def reference(wl) -> dict:
+    x = wl["x"].reshape(-1, _LOCAL).astype(np.float32)
+    y = wl["y"].reshape(-1, _LOCAL).astype(np.float32)
+    # Match the kernel's pairwise tree-reduction order within each group.
+    prod = (x * y).astype(np.float32)
+    stride = _LOCAL // 2
+    while stride > 0:
+        prod[:, :stride] = (prod[:, :stride] + prod[:, stride: 2 * stride]
+                            ).astype(np.float32)
+        stride //= 2
+    return {"partial": prod[:, 0].copy()}
+
+
+register(Benchmark(
+    name="dotproduct",
+    table_name="Dotproduct",
+    source="nvidia_sdk",
+    tags=frozenset({"barrier", "local"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+))

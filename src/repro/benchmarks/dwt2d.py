@@ -1,0 +1,119 @@
+"""Dwt2d — one level of a 2-D 9/7-tap discrete wavelet transform
+(Rodinia). The row and column kernels each take nine mirrored-boundary
+taps per output; the clamping makes every tap a separate non-affine
+(indirect) load/store unit under HLS — together far beyond the MX2100's
+BRAM (Table I)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import GLOBAL_FLOAT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+#: Symmetric 9-tap low-pass / 7-tap high-pass analysis filters
+#: (CDF 9/7 coefficients, truncated to float32).
+LOW = [0.026749, -0.016864, -0.078223, 0.266864, 0.602949,
+       0.266864, -0.078223, -0.016864, 0.026749]
+HIGH = [0.045636, -0.028772, -0.295636, 0.557543,
+        -0.295636, -0.028772, 0.045636]
+
+
+def _tap_kernel(name: str, along_rows: bool) -> KernelBuilder:
+    b = KernelBuilder(name)
+    src = b.param("src", GLOBAL_FLOAT32)
+    dst = b.param("dst", GLOBAL_FLOAT32)
+    width = b.param("width", INT32)
+    height = b.param("height", INT32)
+    i = b.global_id(0)  # output index along the filtered axis (0..len/2)
+    line = b.global_id(1)  # which row (or column)
+    length = width if along_rows else height
+    half = b.div(length, 2)
+    with b.if_(b.logical_and(
+            b.lt(i, half),
+            b.lt(line, height if along_rows else width))):
+        centre = b.mul(i, 2)
+
+        def sample(offset: int):
+            pos = b.add(centre, offset)
+            pos = b.max(pos, 0)  # mirror-free clamp at the boundary
+            pos = b.min(pos, b.sub(length, 1))
+            if along_rows:
+                return b.load(src, b.add(b.mul(line, width), pos))
+            return b.load(src, b.add(b.mul(pos, width), line))
+
+        low = None
+        for k, coeff in enumerate(LOW):
+            term = b.mul(sample(k - 4), float(coeff))
+            low = term if low is None else b.add(low, term)
+        high = None
+        for k, coeff in enumerate(HIGH):
+            term = b.mul(sample(k - 3 + 1), float(coeff))
+            high = term if high is None else b.add(high, term)
+        if along_rows:
+            b.store(dst, b.add(b.mul(line, width), i), low)
+            b.store(dst, b.add(b.mul(line, width), b.add(half, i)), high)
+        else:
+            b.store(dst, b.add(b.mul(i, width), line), low)
+            b.store(dst, b.add(b.mul(b.add(half, i), width), line), high)
+    return b
+
+
+def build():
+    return [_tap_kernel("fdwt_row", True).finish(),
+            _tap_kernel("fdwt_col", False).finish()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    w = h = 16 * scale
+    return {"width": w, "height": h,
+            "src": rng.random(w * h, dtype=np.float32)}
+
+
+def run(ctx, prog, wl) -> dict:
+    w, h = wl["width"], wl["height"]
+    src = ctx.buffer(wl["src"])
+    tmp = ctx.alloc(w * h)
+    out = ctx.alloc(w * h)
+    prog.launch("fdwt_row", [src, tmp, w, h],
+                global_size=(w // 2, h), local_size=(4, 2))
+    prog.launch("fdwt_col", [tmp, out, w, h],
+                global_size=(h // 2, w), local_size=(4, 2))
+    return {"out": out.read()}
+
+
+def _filter_lines(data: np.ndarray) -> np.ndarray:
+    """Apply the analysis filters along axis 1 with clamped boundaries."""
+    n = data.shape[1]
+    half = n // 2
+    out = np.zeros_like(data)
+    idx = np.arange(half) * 2
+    for k, coeff in enumerate(LOW):
+        pos = np.clip(idx + k - 4, 0, n - 1)
+        out[:, :half] += np.float32(coeff) * data[:, pos]
+    for k, coeff in enumerate(HIGH):
+        pos = np.clip(idx + k - 2, 0, n - 1)
+        out[:, half:] += np.float32(coeff) * data[:, pos]
+    return out
+
+
+def reference(wl) -> dict:
+    w, h = wl["width"], wl["height"]
+    img = wl["src"].reshape(h, w).astype(np.float64)
+    rows = _filter_lines(img)
+    cols = _filter_lines(rows.T).T
+    return {"out": cols.astype(np.float32).reshape(-1)}
+
+
+register(Benchmark(
+    name="dwt2d",
+    table_name="Dwd2d",
+    source="rodinia",
+    tags=frozenset({"indirect", "multi_kernel", "bram_heavy"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+    tolerance=1e-3,
+))

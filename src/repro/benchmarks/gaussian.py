@@ -1,0 +1,111 @@
+"""Gaussian — Gaussian elimination (Rodinia): the two-kernel Fan1/Fan2
+pipeline launched once per elimination step, with column-strided
+accesses (the paper's Table III "Gauss" row is the area-heaviest of the
+passing benchmarks)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import GLOBAL_FLOAT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+
+def _fan1():
+    b = KernelBuilder("fan1")
+    a = b.param("a", GLOBAL_FLOAT32)
+    m = b.param("m", GLOBAL_FLOAT32)
+    size = b.param("size", INT32)
+    t = b.param("t", INT32)
+    gid = b.global_id(0)
+    with b.if_(b.lt(gid, b.sub(b.sub(size, 1), t))):
+        row = b.add(b.add(gid, t), 1)
+        pivot = b.load(a, b.add(b.mul(t, size), t))
+        below = b.load(a, b.add(b.mul(row, size), t))
+        b.store(m, b.add(b.mul(row, size), t), b.div(below, pivot))
+    return b.finish()
+
+
+def _fan2():
+    b = KernelBuilder("fan2")
+    a = b.param("a", GLOBAL_FLOAT32)
+    bvec = b.param("b", GLOBAL_FLOAT32)
+    m = b.param("m", GLOBAL_FLOAT32)
+    size = b.param("size", INT32)
+    t = b.param("t", INT32)
+    # Rodinia's Fan2 walks rows along dimension 0 and columns along
+    # dimension 1, so every matrix access is column-strided.
+    x = b.global_id(0)  # row offset
+    y = b.global_id(1)  # column offset
+    in_rows = b.lt(x, b.sub(b.sub(size, 1), t))
+    in_cols = b.lt(y, b.sub(size, t))
+    with b.if_(b.logical_and(in_rows, in_cols)):
+        row = b.add(b.add(x, t), 1)
+        col = b.add(y, t)
+        mult = b.load(m, b.add(b.mul(row, size), t))
+        pivot_row_val = b.load(a, b.add(b.mul(t, size), col))
+        idx = b.add(b.mul(row, size), col)
+        b.store(a, idx, b.sub(b.load(a, idx), b.mul(mult, pivot_row_val)))
+        with b.if_(b.eq(y, 0)):
+            bt = b.load(bvec, t)
+            b.store(bvec, row,
+                    b.sub(b.load(bvec, row), b.mul(mult, bt)))
+    return b.finish()
+
+
+def build():
+    return [_fan1(), _fan2()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    size = 8 * scale
+    a = rng.random((size, size), dtype=np.float32) + np.eye(
+        size, dtype=np.float32) * size
+    bvec = rng.random(size, dtype=np.float32)
+    return {"size": size, "a": a.reshape(-1).copy(), "b": bvec}
+
+
+def _round_up(x: int, m: int) -> int:
+    return ((x + m - 1) // m) * m
+
+
+def run(ctx, prog, wl) -> dict:
+    size = wl["size"]
+    a = ctx.buffer(wl["a"])
+    bvec = ctx.buffer(wl["b"])
+    m = ctx.alloc(size * size)
+    for t in range(size - 1):
+        prog.launch("fan1", [a, m, size, t],
+                    global_size=_round_up(size - 1 - t, 8), local_size=8)
+        prog.launch("fan2", [a, bvec, m, size, t],
+                    global_size=(_round_up(size - 1 - t, 4),
+                                 _round_up(size - t, 2)),
+                    local_size=(4, 2))
+    # Back substitution on the host (as Rodinia does).
+    au = a.read().reshape(size, size).astype(np.float64)
+    bu = bvec.read().astype(np.float64)
+    x = np.zeros(size)
+    for i in range(size - 1, -1, -1):
+        x[i] = (bu[i] - au[i, i + 1:] @ x[i + 1:]) / au[i, i]
+    return {"x": x.astype(np.float32)}
+
+
+def reference(wl) -> dict:
+    size = wl["size"]
+    a = wl["a"].reshape(size, size).astype(np.float64)
+    bvec = wl["b"].astype(np.float64)
+    return {"x": np.linalg.solve(a, bvec).astype(np.float32)}
+
+
+register(Benchmark(
+    name="gaussian",
+    table_name="Gaussian",
+    source="rodinia",
+    tags=frozenset({"strided", "multi_kernel"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+    tolerance=2e-2,
+))

@@ -1,0 +1,83 @@
+"""Kmeans — membership assignment kernel (Rodinia): each point finds its
+nearest cluster centre. The feature access ``features[pt*nfeat + f]`` is
+the strided pattern the HLS LSU classifier prices at full burst-coalesced
+cost."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import FLOAT32, GLOBAL_FLOAT32, GLOBAL_INT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+
+def build():
+    b = KernelBuilder("kmeans")
+    features = b.param("features", GLOBAL_FLOAT32)
+    clusters = b.param("clusters", GLOBAL_FLOAT32)
+    membership = b.param("membership", GLOBAL_INT32)
+    npoints = b.param("npoints", INT32)
+    nclusters = b.param("nclusters", INT32)
+    nfeatures = b.param("nfeatures", INT32)
+    pt = b.global_id(0)
+    with b.if_(b.lt(pt, npoints)):
+        best = b.var("best", INT32, init=0)
+        best_dist = b.var("best_dist", FLOAT32, init=3.4e38)
+        with b.for_range(0, nclusters) as c:
+            dist = b.var("dist", FLOAT32, init=0.0)
+            with b.for_range(0, nfeatures) as f:
+                fv = b.load(features, b.add(b.mul(pt, nfeatures), f))
+                cv = b.load(clusters, b.add(b.mul(c, nfeatures), f))
+                d = b.sub(fv, cv)
+                dist.set(b.add(dist.get(), b.mul(d, d)))
+            closer = b.lt(dist.get(), best_dist.get())
+            best.set(b.select(closer, c, best.get()))
+            best_dist.set(b.select(closer, dist.get(), best_dist.get()))
+        b.store(membership, pt, best.get())
+    return [b.finish()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    npoints = 64 * scale
+    nclusters = 4
+    nfeatures = 4
+    return {
+        "npoints": npoints,
+        "nclusters": nclusters,
+        "nfeatures": nfeatures,
+        "features": rng.random(npoints * nfeatures, dtype=np.float32),
+        "clusters": rng.random(nclusters * nfeatures, dtype=np.float32),
+    }
+
+
+def run(ctx, prog, wl) -> dict:
+    features = ctx.buffer(wl["features"])
+    clusters = ctx.buffer(wl["clusters"])
+    membership = ctx.alloc(wl["npoints"], np.int32)
+    prog.launch(
+        "kmeans",
+        [features, clusters, membership, wl["npoints"], wl["nclusters"],
+         wl["nfeatures"]],
+        global_size=wl["npoints"], local_size=16,
+    )
+    return {"membership": membership.read()}
+
+
+def reference(wl) -> dict:
+    pts = wl["features"].reshape(wl["npoints"], wl["nfeatures"])
+    ctr = wl["clusters"].reshape(wl["nclusters"], wl["nfeatures"])
+    d = ((pts[:, None, :] - ctr[None, :, :]) ** 2).sum(axis=2)
+    return {"membership": d.argmin(axis=1).astype(np.int32)}
+
+
+register(Benchmark(
+    name="kmeans",
+    table_name="Kmeans",
+    source="rodinia",
+    tags=frozenset({"strided", "compute"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+))

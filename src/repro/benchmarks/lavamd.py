@@ -1,0 +1,148 @@
+"""LavaMD — particle interactions within neighbouring boxes (Rodinia):
+one work-group per home box; neighbour-box particles are staged through
+local memory (as Rodinia's kernel does with ``rB_shared``), which is
+what keeps the kernel inside the FPGA's BRAM budget — each staging loop
+is a single load-store-unit site instead of one per component."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import FLOAT32, GLOBAL_FLOAT32, GLOBAL_INT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+PARTICLES_PER_BOX = 8
+_COMP = 4  # x, y, z, q packed per particle
+
+
+def build():
+    b = KernelBuilder("lavamd")
+    pos4 = b.param("pos4", GLOBAL_FLOAT32)  # n x (x,y,z,q)
+    nn = b.param("nn", GLOBAL_INT32)  # nboxes x max_nn neighbour ids
+    nn_count = b.param("nn_count", GLOBAL_INT32)
+    out = b.param("out", GLOBAL_FLOAT32)
+    max_nn = b.param("max_nn", INT32)
+    alpha = b.param("alpha", FLOAT32)
+    home = b.local_array("home", FLOAT32, PARTICLES_PER_BOX * _COMP)
+    tile = b.local_array("tile", FLOAT32, PARTICLES_PER_BOX * _COMP)
+    box = b.group_id(0)
+    lid = b.local_id(0)
+    me = b.global_id(0)  # == box * PARTICLES_PER_BOX + lid
+
+    # Stage the home box once (one LSU site).
+    with b.for_range(0, _COMP) as c:
+        b.store(home, b.add(b.mul(lid, _COMP), c),
+                b.load(pos4, b.add(b.mul(me, _COMP), c)))
+    b.barrier()
+    mx = b.load(home, b.mul(lid, _COMP))
+    my = b.load(home, b.add(b.mul(lid, _COMP), 1))
+    mz = b.load(home, b.add(b.mul(lid, _COMP), 2))
+
+    acc = b.var("acc", FLOAT32, init=0.0)
+    count = b.load(nn_count, box)
+    with b.for_range(0, count) as k:
+        nbox = b.load(nn, b.add(b.mul(box, max_nn), k))
+        # Stage the neighbour box (one LSU site), then compute from local.
+        with b.for_range(0, _COMP) as c:
+            src = b.add(b.mul(b.add(b.mul(nbox, PARTICLES_PER_BOX), lid),
+                              _COMP), c)
+            b.store(tile, b.add(b.mul(lid, _COMP), c), b.load(pos4, src))
+        b.barrier()
+        with b.for_range(0, PARTICLES_PER_BOX) as j:
+            jx = b.load(tile, b.mul(j, _COMP))
+            jy = b.load(tile, b.add(b.mul(j, _COMP), 1))
+            jz = b.load(tile, b.add(b.mul(j, _COMP), 2))
+            jq = b.load(tile, b.add(b.mul(j, _COMP), 3))
+            dx = b.sub(mx, jx)
+            dy = b.sub(my, jy)
+            dz = b.sub(mz, jz)
+            r2 = b.add(b.add(b.mul(dx, dx), b.mul(dy, dy)),
+                       b.mul(dz, dz))
+            u = b.exp(b.mul(b.neg(alpha), r2))
+            acc.set(b.add(acc.get(), b.mul(jq, u)))
+        b.barrier()
+    b.store(out, me, acc.get())
+    return [b.finish()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    boxes_per_dim = 2
+    nboxes = boxes_per_dim ** 3
+    n = nboxes * PARTICLES_PER_BOX
+    max_nn = 27
+    nn = np.zeros((nboxes, max_nn), dtype=np.int32)
+    nn_count = np.zeros(nboxes, dtype=np.int32)
+
+    def box_id(x, y, z):
+        return (z * boxes_per_dim + y) * boxes_per_dim + x
+
+    for z in range(boxes_per_dim):
+        for y in range(boxes_per_dim):
+            for x in range(boxes_per_dim):
+                bid = box_id(x, y, z)
+                k = 0
+                for dz in (-1, 0, 1):
+                    for dy in (-1, 0, 1):
+                        for dx in (-1, 0, 1):
+                            nx, ny, nz = x + dx, y + dy, z + dz
+                            if 0 <= nx < boxes_per_dim and \
+                                    0 <= ny < boxes_per_dim and \
+                                    0 <= nz < boxes_per_dim:
+                                nn[bid, k] = box_id(nx, ny, nz)
+                                k += 1
+                nn_count[bid] = k
+    pos = rng.random((n, 3), dtype=np.float32) * 4
+    q = rng.random((n, 1), dtype=np.float32)
+    pos4 = np.concatenate([pos, q], axis=1).reshape(-1).astype(np.float32)
+    return {
+        "nboxes": nboxes, "max_nn": max_nn, "alpha": 0.5,
+        "pos4": pos4, "nn": nn.reshape(-1), "nn_count": nn_count,
+    }
+
+
+def run(ctx, prog, wl) -> dict:
+    n = wl["nboxes"] * PARTICLES_PER_BOX
+    pos4 = ctx.buffer(wl["pos4"])
+    nn = ctx.buffer(wl["nn"])
+    nn_count = ctx.buffer(wl["nn_count"])
+    out = ctx.alloc(n)
+    prog.launch(
+        "lavamd",
+        [pos4, nn, nn_count, out, wl["max_nn"], wl["alpha"]],
+        global_size=n, local_size=PARTICLES_PER_BOX,
+    )
+    return {"out": out.read()}
+
+
+def reference(wl) -> dict:
+    nboxes, max_nn = wl["nboxes"], wl["max_nn"]
+    n = nboxes * PARTICLES_PER_BOX
+    pos4 = wl["pos4"].reshape(n, _COMP).astype(np.float64)
+    nn = wl["nn"].reshape(nboxes, max_nn)
+    out = np.zeros(n, dtype=np.float64)
+    for box in range(nboxes):
+        for l in range(PARTICLES_PER_BOX):
+            me = box * PARTICLES_PER_BOX + l
+            acc = 0.0
+            for k in range(wl["nn_count"][box]):
+                nbox = nn[box, k]
+                for j in range(PARTICLES_PER_BOX):
+                    other = nbox * PARTICLES_PER_BOX + j
+                    r2 = ((pos4[me, :3] - pos4[other, :3]) ** 2).sum()
+                    acc += pos4[other, 3] * np.exp(-wl["alpha"] * r2)
+            out[me] = acc
+    return {"out": out.astype(np.float32)}
+
+
+register(Benchmark(
+    name="lavamd",
+    table_name="LavaMD",
+    source="rodinia",
+    tags=frozenset({"indirect", "local", "barrier", "compute"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+    tolerance=5e-3,
+))

@@ -1,0 +1,158 @@
+"""LUD — blocked LU decomposition without pivoting (Rodinia): the
+classic three-kernel pipeline (diagonal, perimeter, internal) launched
+once per diagonal tile. Its many tile-strided access sites push the HLS
+synthesis far past the MX2100's BRAM (Table I)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import FLOAT32, GLOBAL_FLOAT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+B = 4  # tile size
+
+
+def _diagonal():
+    # One work item factorises the BxB diagonal tile in place.
+    b = KernelBuilder("lud_diagonal")
+    a = b.param("a", GLOBAL_FLOAT32)
+    n = b.param("n", INT32)
+    t = b.param("t", INT32)  # tile origin
+    gid = b.global_id(0)
+    with b.if_(b.eq(gid, 0)):
+        with b.for_range(0, B) as k:
+            pivot = b.load(a, b.add(b.mul(b.add(t, k), n), b.add(t, k)))
+            with b.for_range(0, B) as i:
+                with b.if_(b.gt(i, k)):
+                    row = b.add(t, i)
+                    lik = b.div(
+                        b.load(a, b.add(b.mul(row, n), b.add(t, k))),
+                        pivot)
+                    b.store(a, b.add(b.mul(row, n), b.add(t, k)), lik)
+                    with b.for_range(0, B) as j:
+                        with b.if_(b.gt(j, k)):
+                            col = b.add(t, j)
+                            idx = b.add(b.mul(row, n), col)
+                            upd = b.sub(
+                                b.load(a, idx),
+                                b.mul(lik, b.load(a, b.add(
+                                    b.mul(b.add(t, k), n), col))))
+                            b.store(a, idx, upd)
+    return b.finish()
+
+
+def _perimeter():
+    # Items 0..rem-1 update the row panel (columns right of the tile),
+    # items rem..2*rem-1 the column panel (rows below the tile).
+    b = KernelBuilder("lud_perimeter")
+    a = b.param("a", GLOBAL_FLOAT32)
+    n = b.param("n", INT32)
+    t = b.param("t", INT32)
+    rem = b.param("rem", INT32)  # elements right/below the tile
+    gid = b.global_id(0)
+    with b.if_(b.lt(gid, rem)):
+        # Row panel: column c = t+B+gid; solve L y = a[t..t+B, c].
+        c = b.add(b.add(t, B), gid)
+        with b.for_range(0, B) as i:
+            row = b.add(t, i)
+            acc = b.var("acc", FLOAT32, init=b.load(
+                a, b.add(b.mul(row, n), c)))
+            with b.for_range(0, B) as k:
+                with b.if_(b.lt(k, i)):
+                    lik = b.load(a, b.add(b.mul(row, n), b.add(t, k)))
+                    ykc = b.load(a, b.add(b.mul(b.add(t, k), n), c))
+                    acc.set(b.sub(acc.get(), b.mul(lik, ykc)))
+            b.store(a, b.add(b.mul(row, n), c), acc.get())
+    with b.if_(b.logical_and(b.ge(gid, rem), b.lt(gid, b.mul(rem, 2)))):
+        # Column panel: row r = t+B+(gid-rem); a[r, t+k] = (...)/U[k,k].
+        r = b.add(b.add(t, B), b.sub(gid, rem))
+        with b.for_range(0, B) as k:
+            col = b.add(t, k)
+            acc = b.var("acc2", FLOAT32, init=b.load(
+                a, b.add(b.mul(r, n), col)))
+            with b.for_range(0, B) as j:
+                with b.if_(b.lt(j, k)):
+                    arj = b.load(a, b.add(b.mul(r, n), b.add(t, j)))
+                    ujk = b.load(a, b.add(b.mul(b.add(t, j), n), col))
+                    acc.set(b.sub(acc.get(), b.mul(arj, ujk)))
+            ukk = b.load(a, b.add(b.mul(col, n), col))
+            b.store(a, b.add(b.mul(r, n), col), b.div(acc.get(), ukk))
+    return b.finish()
+
+
+def _internal():
+    # Item (x, y) updates a[t+B+y, t+B+x] with the rank-B product.
+    b = KernelBuilder("lud_internal")
+    a = b.param("a", GLOBAL_FLOAT32)
+    n = b.param("n", INT32)
+    t = b.param("t", INT32)
+    rem = b.param("rem", INT32)
+    x = b.global_id(0)
+    y = b.global_id(1)
+    with b.if_(b.logical_and(b.lt(x, rem), b.lt(y, rem))):
+        row = b.add(b.add(t, B), y)
+        col = b.add(b.add(t, B), x)
+        acc = b.var("acc", FLOAT32, init=0.0)
+        with b.for_range(0, B) as k:
+            lrk = b.load(a, b.add(b.mul(row, n), b.add(t, k)))
+            ukc = b.load(a, b.add(b.mul(b.add(t, k), n), col))
+            acc.set(b.add(acc.get(), b.mul(lrk, ukc)))
+        idx = b.add(b.mul(row, n), col)
+        b.store(a, idx, b.sub(b.load(a, idx), acc.get()))
+    return b.finish()
+
+
+def build():
+    return [_diagonal(), _perimeter(), _internal()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    n = 2 * B * scale
+    a = rng.random((n, n), dtype=np.float32) + np.eye(
+        n, dtype=np.float32) * n
+    return {"n": n, "a": a.reshape(-1).copy()}
+
+
+def _round_up(x: int, m: int) -> int:
+    return ((x + m - 1) // m) * m
+
+
+def run(ctx, prog, wl) -> dict:
+    n = wl["n"]
+    a = ctx.buffer(wl["a"])
+    for t in range(0, n, B):
+        prog.launch("lud_diagonal", [a, n, t], global_size=4, local_size=4)
+        rem = n - t - B
+        if rem > 0:
+            prog.launch("lud_perimeter", [a, n, t, rem],
+                        global_size=_round_up(2 * rem, 8), local_size=8)
+            prog.launch("lud_internal", [a, n, t, rem],
+                        global_size=(_round_up(rem, 4), _round_up(rem, 2)),
+                        local_size=(4, 2))
+    return {"a": a.read()}
+
+
+def reference(wl) -> dict:
+    n = wl["n"]
+    a = wl["a"].reshape(n, n).astype(np.float64).copy()
+    # Doolittle LU, no pivoting: L (unit diagonal) and U packed in place.
+    for k in range(n):
+        for i in range(k + 1, n):
+            a[i, k] /= a[k, k]
+            a[i, k + 1:] -= a[i, k] * a[k, k + 1:]
+    return {"a": a.astype(np.float32).reshape(-1)}
+
+
+register(Benchmark(
+    name="lud",
+    table_name="LUD",
+    source="rodinia",
+    tags=frozenset({"strided", "multi_kernel", "bram_heavy"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+    tolerance=2e-2,
+))

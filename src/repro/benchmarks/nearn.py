@@ -1,0 +1,67 @@
+"""Nearn — nearest neighbour (Rodinia NN): Euclidean distance from every
+record to a query point; the host scans for the minimum."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import FLOAT32, GLOBAL_FLOAT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+
+def build():
+    b = KernelBuilder("nearn")
+    lat = b.param("lat", GLOBAL_FLOAT32)
+    lng = b.param("lng", GLOBAL_FLOAT32)
+    dist = b.param("dist", GLOBAL_FLOAT32)
+    n = b.param("n", INT32)
+    qlat = b.param("qlat", FLOAT32)
+    qlng = b.param("qlng", FLOAT32)
+    gid = b.global_id(0)
+    with b.if_(b.lt(gid, n)):
+        dlat = b.sub(b.load(lat, gid), qlat)
+        dlng = b.sub(b.load(lng, gid), qlng)
+        b.store(dist, gid,
+                b.sqrt(b.add(b.mul(dlat, dlat), b.mul(dlng, dlng))))
+    return [b.finish()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    n = 256 * scale
+    return {
+        "n": n,
+        "lat": (rng.random(n, dtype=np.float32) * 180 - 90),
+        "lng": (rng.random(n, dtype=np.float32) * 360 - 180),
+        "qlat": 30.0,
+        "qlng": -60.0,
+    }
+
+
+def run(ctx, prog, wl) -> dict:
+    lat = ctx.buffer(wl["lat"])
+    lng = ctx.buffer(wl["lng"])
+    dist = ctx.alloc(wl["n"])
+    prog.launch("nearn", [lat, lng, dist, wl["n"], wl["qlat"], wl["qlng"]],
+                global_size=wl["n"], local_size=16)
+    out = dist.read()
+    return {"dist": out, "nearest": int(np.argmin(out))}
+
+
+def reference(wl) -> dict:
+    dlat = wl["lat"] - np.float32(wl["qlat"])
+    dlng = wl["lng"] - np.float32(wl["qlng"])
+    dist = np.sqrt(dlat * dlat + dlng * dlng).astype(np.float32)
+    return {"dist": dist, "nearest": int(np.argmin(dist))}
+
+
+register(Benchmark(
+    name="nearn",
+    table_name="Nearn",
+    source="rodinia",
+    tags=frozenset({"streaming"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+))

@@ -1,0 +1,93 @@
+"""NW — Needleman-Wunsch sequence alignment (Rodinia): the score matrix
+is filled one anti-diagonal per launch; every cell reads its three
+parents with row-strided accesses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import GLOBAL_INT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+
+def build():
+    b = KernelBuilder("nw_diagonal")
+    score = b.param("score", GLOBAL_INT32)  # (n+1) x (n+1)
+    ref = b.param("ref", GLOBAL_INT32)  # n x n similarity
+    n = b.param("n", INT32)
+    diag = b.param("diag", INT32)  # 2..2n, i+j == diag
+    penalty = b.param("penalty", INT32)
+    tid = b.global_id(0)
+    # Cells on this diagonal: i from max(1, diag-n) .. min(n, diag-1).
+    i0 = b.max(1, b.sub(diag, n))
+    i = b.add(i0, tid)
+    imax = b.min(n, b.sub(diag, 1))
+    with b.if_(b.le(i, imax)):
+        j = b.sub(diag, i)
+        w = b.add(n, 1)
+        nw_ = b.load(score, b.add(b.mul(b.sub(i, 1), w), b.sub(j, 1)))
+        up = b.load(score, b.add(b.mul(b.sub(i, 1), w), j))
+        lf = b.load(score, b.add(b.mul(i, w), b.sub(j, 1)))
+        sim = b.load(ref, b.add(b.mul(b.sub(i, 1), n), b.sub(j, 1)))
+        best = b.max(
+            b.add(nw_, sim),
+            b.max(b.sub(up, penalty), b.sub(lf, penalty)),
+        )
+        b.store(score, b.add(b.mul(i, w), j), best)
+    return [b.finish()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    n = 16 * scale
+    return {
+        "n": n,
+        "penalty": 10,
+        "ref": rng.integers(-5, 5, n * n).astype(np.int32),
+    }
+
+
+def _init_score(n: int, penalty: int) -> np.ndarray:
+    w = n + 1
+    score = np.zeros((w, w), dtype=np.int32)
+    score[0, :] = -penalty * np.arange(w)
+    score[:, 0] = -penalty * np.arange(w)
+    return score
+
+
+def run(ctx, prog, wl) -> dict:
+    n, penalty = wl["n"], wl["penalty"]
+    score = ctx.buffer(_init_score(n, penalty).reshape(-1))
+    ref = ctx.buffer(wl["ref"])
+    for diag in range(2, 2 * n + 1):
+        cells = min(n, diag - 1) - max(1, diag - n) + 1
+        gsz = ((cells + 7) // 8) * 8
+        prog.launch("nw_diagonal", [score, ref, n, diag, penalty],
+                    global_size=gsz, local_size=8)
+    return {"score": score.read()}
+
+
+def reference(wl) -> dict:
+    n, penalty = wl["n"], wl["penalty"]
+    score = _init_score(n, penalty).astype(np.int64)
+    ref = wl["ref"].reshape(n, n)
+    for i in range(1, n + 1):
+        for j in range(1, n + 1):
+            score[i, j] = max(
+                score[i - 1, j - 1] + ref[i - 1, j - 1],
+                score[i - 1, j] - penalty,
+                score[i, j - 1] - penalty,
+            )
+    return {"score": score.astype(np.int32).reshape(-1)}
+
+
+register(Benchmark(
+    name="nw",
+    table_name="nw",
+    source="rodinia",
+    tags=frozenset({"strided", "wavefront"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+))

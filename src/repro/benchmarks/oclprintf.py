@@ -1,0 +1,58 @@
+"""OCLPrintf — device-side printf (NVIDIA OpenCL SDK sample).
+
+Both flows support printf (Table I shows both passing); on Vortex this
+exercises the runtime-communication challenge the paper raises in §IV-A
+("adding a new feature may necessitate updates in the host runtime
+library, such as incorporating a communication function ... like
+printing").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import GLOBAL_INT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+
+def build():
+    b = KernelBuilder("oclprintf")
+    data = b.param("data", GLOBAL_INT32)
+    out = b.param("out", GLOBAL_INT32)
+    n = b.param("n", INT32)
+    gid = b.global_id(0)
+    with b.if_(b.lt(gid, n)):
+        v = b.load(data, gid)
+        b.printf("work-item %d saw %d", gid, v)
+        b.store(out, gid, b.mul(v, 2))
+    return [b.finish()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    n = 16 * scale
+    return {"n": n, "data": rng.integers(0, 100, n).astype(np.int32)}
+
+
+def run(ctx, prog, wl) -> dict:
+    data = ctx.buffer(wl["data"])
+    out = ctx.alloc(wl["n"], np.int32)
+    stats = prog.launch("oclprintf", [data, out, wl["n"]],
+                        global_size=wl["n"], local_size=8)
+    return {"out": out.read(), "printf_lines": len(stats.printf_output)}
+
+
+def reference(wl) -> dict:
+    return {"out": wl["data"] * 2, "printf_lines": wl["n"]}
+
+
+register(Benchmark(
+    name="oclprintf",
+    table_name="OCLPrintf",
+    source="nvidia_sdk",
+    tags=frozenset({"printf"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+))

@@ -1,0 +1,88 @@
+"""Pathfinder — dynamic programming over a 2-D grid (Rodinia): each row
+adds the cheapest of the three parents, staged through local memory with
+a halo and a barrier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import GLOBAL_INT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+_LOCAL = 8
+
+
+def build():
+    b = KernelBuilder("pathfinder_row")
+    wall = b.param("wall", GLOBAL_INT32)  # the current row's costs
+    prev = b.param("prev", GLOBAL_INT32)
+    out = b.param("out", GLOBAL_INT32)
+    ncols = b.param("ncols", INT32)
+    tile = b.local_array("tile", INT32, _LOCAL + 2)
+    gid = b.global_id(0)
+    lid = b.local_id(0)
+    with b.if_(b.lt(gid, ncols)):
+        b.store(tile, b.add(lid, 1), b.load(prev, gid))
+        # Halo cells, clamped at the grid edges.
+        with b.if_(b.eq(lid, 0)):
+            left = b.max(b.sub(gid, 1), 0)
+            b.store(tile, 0, b.load(prev, left))
+        with b.if_(b.eq(lid, _LOCAL - 1)):
+            right = b.min(b.add(gid, 1), b.sub(ncols, 1))
+            b.store(tile, _LOCAL + 1, b.load(prev, right))
+    b.barrier()
+    with b.if_(b.lt(gid, ncols)):
+        centre = b.load(tile, b.add(lid, 1))
+        left = b.load(tile, lid)
+        right = b.load(tile, b.add(lid, 2))
+        best = b.min(b.min(left, centre), right)
+        b.store(out, gid, b.add(b.load(wall, gid), best))
+    return [b.finish()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    rows, cols = 8 * scale, 32 * scale
+    return {
+        "rows": rows,
+        "cols": cols,
+        "wall": rng.integers(0, 10, (rows, cols)).astype(np.int32),
+    }
+
+
+def run(ctx, prog, wl) -> dict:
+    rows, cols = wl["rows"], wl["cols"]
+    prev = ctx.buffer(wl["wall"][0])
+    out = ctx.alloc(cols, np.int32)
+    for r in range(1, rows):
+        wall_row = ctx.buffer(wl["wall"][r])
+        prog.launch("pathfinder_row", [wall_row, prev, out, cols],
+                    global_size=cols, local_size=_LOCAL)
+        prev.write(out.read())
+    return {"result": prev.read()}
+
+
+def reference(wl) -> dict:
+    rows, cols = wl["rows"], wl["cols"]
+    prev = wl["wall"][0].astype(np.int64)
+    for r in range(1, rows):
+        left = np.empty_like(prev)
+        right = np.empty_like(prev)
+        left[0] = prev[0]
+        left[1:] = prev[:-1]
+        right[-1] = prev[-1]
+        right[:-1] = prev[1:]
+        prev = wl["wall"][r] + np.minimum(np.minimum(left, prev), right)
+    return {"result": prev.astype(np.int32)}
+
+
+register(Benchmark(
+    name="pathfinder",
+    table_name="pathfinder",
+    source="rodinia",
+    tags=frozenset({"barrier", "local"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+))

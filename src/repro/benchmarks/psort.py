@@ -1,0 +1,60 @@
+"""Psort — parallel rank ("enumeration") sort, from the Vortex sample
+suite: every work item counts how many elements precede its own and
+scatters it to that rank. Duplicates are ordered by index, so ranks are
+a permutation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import GLOBAL_INT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+
+def build():
+    b = KernelBuilder("psort")
+    src = b.param("src", GLOBAL_INT32)
+    dst = b.param("dst", GLOBAL_INT32)
+    n = b.param("n", INT32)
+    gid = b.global_id(0)
+    with b.if_(b.lt(gid, n)):
+        mine = b.load(src, gid)
+        rank = b.var("rank", INT32, init=0)
+        with b.for_range(0, n) as j:
+            other = b.load(src, j)
+            less = b.lt(other, mine)
+            tie = b.logical_and(b.eq(other, mine), b.lt(j, gid))
+            rank.set(b.add(rank.get(),
+                           b.zext(b.logical_or(less, tie))))
+        b.store(dst, rank.get(), mine)
+    return [b.finish()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    n = 64 * scale
+    return {"n": n, "src": rng.integers(0, 50, n).astype(np.int32)}
+
+
+def run(ctx, prog, wl) -> dict:
+    src = ctx.buffer(wl["src"])
+    dst = ctx.alloc(wl["n"], np.int32)
+    prog.launch("psort", [src, dst, wl["n"]],
+                global_size=wl["n"], local_size=16)
+    return {"dst": dst.read()}
+
+
+def reference(wl) -> dict:
+    return {"dst": np.sort(wl["src"], kind="stable")}
+
+
+register(Benchmark(
+    name="psort",
+    table_name="Psort",
+    source="vortex",
+    tags=frozenset({"compute"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+))

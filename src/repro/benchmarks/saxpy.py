@@ -1,0 +1,55 @@
+"""Saxpy — y = a*x + y (Vortex sample suite)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import FLOAT32, GLOBAL_FLOAT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+
+def build():
+    b = KernelBuilder("saxpy")
+    x = b.param("x", GLOBAL_FLOAT32)
+    y = b.param("y", GLOBAL_FLOAT32)
+    a = b.param("a", FLOAT32)
+    n = b.param("n", INT32)
+    gid = b.global_id(0)
+    with b.if_(b.lt(gid, n)):
+        b.store(y, gid, b.add(b.mul(a, b.load(x, gid)), b.load(y, gid)))
+    return [b.finish()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    n = 256 * scale
+    return {
+        "n": n,
+        "a": 2.5,
+        "x": rng.random(n, dtype=np.float32),
+        "y": rng.random(n, dtype=np.float32),
+    }
+
+
+def run(ctx, prog, wl) -> dict:
+    x = ctx.buffer(wl["x"])
+    y = ctx.buffer(wl["y"])
+    prog.launch("saxpy", [x, y, wl["a"], wl["n"]],
+                global_size=wl["n"], local_size=16)
+    return {"y": y.read()}
+
+
+def reference(wl) -> dict:
+    return {"y": (np.float32(wl["a"]) * wl["x"] + wl["y"]).astype(np.float32)}
+
+
+register(Benchmark(
+    name="saxpy",
+    table_name="Saxpy",
+    source="vortex",
+    tags=frozenset({"streaming"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+))

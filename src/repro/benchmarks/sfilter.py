@@ -1,0 +1,83 @@
+"""Sfilter — 3x3 convolution filter over a 2-D image (Vortex sample
+suite). Nine row-major neighbour loads per pixel."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import GLOBAL_FLOAT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+_K = np.array([[0.0625, 0.125, 0.0625],
+               [0.125, 0.25, 0.125],
+               [0.0625, 0.125, 0.0625]], dtype=np.float32)
+
+
+def build():
+    b = KernelBuilder("sfilter")
+    src = b.param("src", GLOBAL_FLOAT32)
+    dst = b.param("dst", GLOBAL_FLOAT32)
+    width = b.param("width", INT32)
+    height = b.param("height", INT32)
+    x = b.global_id(0)
+    y = b.global_id(1)
+    interior = b.logical_and(
+        b.logical_and(b.gt(x, 0), b.lt(x, b.sub(width, 1))),
+        b.logical_and(b.gt(y, 0), b.lt(y, b.sub(height, 1))),
+    )
+    with b.if_(interior):
+        total = None
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                idx = b.add(b.mul(b.add(y, dy), width), b.add(x, dx))
+                term = b.mul(b.load(src, idx),
+                             float(_K[dy + 1, dx + 1]))
+                total = term if total is None else b.add(total, term)
+        b.store(dst, b.add(b.mul(y, width), x), total)
+    return [b.finish()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    w = h = 16 * scale
+    return {"width": w, "height": h,
+            "src": rng.random(w * h, dtype=np.float32)}
+
+
+def run(ctx, prog, wl) -> dict:
+    w, h = wl["width"], wl["height"]
+    src = ctx.buffer(wl["src"])
+    dst = ctx.alloc(w * h)
+    prog.launch("sfilter", [src, dst, w, h],
+                global_size=(w, h), local_size=(8, 2))
+    return {"dst": dst.read()}
+
+
+def reference(wl) -> dict:
+    w, h = wl["width"], wl["height"]
+    img = wl["src"].reshape(h, w).astype(np.float32)
+    out = np.zeros_like(img)
+    # Match the kernel's accumulation order: rows then columns.
+    for yy in range(1, h - 1):
+        for xx in range(1, w - 1):
+            acc = np.float32(0.0)
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    acc = np.float32(
+                        acc + np.float32(img[yy + dy, xx + dx]
+                                         * _K[dy + 1, dx + 1])
+                    )
+            out[yy, xx] = acc
+    return {"dst": out.reshape(-1)}
+
+
+register(Benchmark(
+    name="sfilter",
+    table_name="Sfilter",
+    source="vortex",
+    tags=frozenset({"stencil"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+))

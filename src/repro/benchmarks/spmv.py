@@ -1,0 +1,94 @@
+"""SPMV — sparse matrix-vector product, CSR format (Parboil).
+
+One work item per row; row lengths differ, so the inner loop has a
+divergent trip count (PRED lowering on Vortex) and the ``x[col[j]]``
+gather is the classic indirect access for the HLS LSU classifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import FLOAT32, GLOBAL_FLOAT32, GLOBAL_INT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+
+def build():
+    b = KernelBuilder("spmv")
+    row_ptr = b.param("row_ptr", GLOBAL_INT32)
+    col_idx = b.param("col_idx", GLOBAL_INT32)
+    values = b.param("values", GLOBAL_FLOAT32)
+    x = b.param("x", GLOBAL_FLOAT32)
+    y = b.param("y", GLOBAL_FLOAT32)
+    nrows = b.param("nrows", INT32)
+    row = b.global_id(0)
+    with b.if_(b.lt(row, nrows)):
+        start = b.load(row_ptr, row)
+        end = b.load(row_ptr, b.add(row, 1))
+        acc = b.var("acc", FLOAT32, init=0.0)
+        j = b.var("j", INT32, init=start)
+        with b.while_(lambda: b.lt(j.get(), end)):
+            v = b.load(values, j.get())
+            xv = b.load(x, b.load(col_idx, j.get()))
+            acc.set(b.add(acc.get(), b.mul(v, xv)))
+            j.set(b.add(j.get(), 1))
+        b.store(y, row, acc.get())
+    return [b.finish()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    nrows = 32 * scale
+    ncols = nrows
+    row_ptr = [0]
+    cols: list[int] = []
+    vals: list[float] = []
+    for _ in range(nrows):
+        nnz = int(rng.integers(0, 6))
+        chosen = np.sort(rng.choice(ncols, size=nnz, replace=False))
+        cols.extend(int(c) for c in chosen)
+        vals.extend(float(v) for v in rng.random(nnz))
+        row_ptr.append(len(cols))
+    return {
+        "nrows": nrows,
+        "row_ptr": np.array(row_ptr, dtype=np.int32),
+        "col_idx": np.array(cols or [0], dtype=np.int32),
+        "values": np.array(vals or [0.0], dtype=np.float32),
+        "x": rng.random(ncols, dtype=np.float32),
+    }
+
+
+def run(ctx, prog, wl) -> dict:
+    row_ptr = ctx.buffer(wl["row_ptr"])
+    col_idx = ctx.buffer(wl["col_idx"])
+    values = ctx.buffer(wl["values"])
+    x = ctx.buffer(wl["x"])
+    y = ctx.alloc(wl["nrows"])
+    prog.launch("spmv", [row_ptr, col_idx, values, x, y, wl["nrows"]],
+                global_size=wl["nrows"], local_size=8)
+    return {"y": y.read()}
+
+
+def reference(wl) -> dict:
+    nrows = wl["nrows"]
+    y = np.zeros(nrows, dtype=np.float32)
+    for r in range(nrows):
+        acc = np.float32(0.0)
+        for j in range(wl["row_ptr"][r], wl["row_ptr"][r + 1]):
+            acc = np.float32(
+                acc + np.float32(wl["values"][j] * wl["x"][wl["col_idx"][j]])
+            )
+        y[r] = acc
+    return {"y": y}
+
+
+register(Benchmark(
+    name="spmv",
+    table_name="SPMV",
+    source="parboil",
+    tags=frozenset({"indirect", "divergent"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+))

@@ -1,0 +1,90 @@
+"""Stencil — 7-point 3-D Jacobi stencil (Parboil)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import FLOAT32, GLOBAL_FLOAT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+
+def build():
+    b = KernelBuilder("stencil")
+    src = b.param("src", GLOBAL_FLOAT32)
+    dst = b.param("dst", GLOBAL_FLOAT32)
+    nx = b.param("nx", INT32)
+    ny = b.param("ny", INT32)
+    nz = b.param("nz", INT32)
+    c0 = b.param("c0", FLOAT32)
+    c1 = b.param("c1", FLOAT32)
+    x = b.global_id(0)
+    y = b.global_id(1)
+    z = b.global_id(2)
+    inside = b.logical_and(
+        b.logical_and(
+            b.logical_and(b.gt(x, 0), b.lt(x, b.sub(nx, 1))),
+            b.logical_and(b.gt(y, 0), b.lt(y, b.sub(ny, 1))),
+        ),
+        b.logical_and(b.gt(z, 0), b.lt(z, b.sub(nz, 1))),
+    )
+    with b.if_(inside):
+        plane = b.mul(nx, ny)
+        idx = b.add(b.add(b.mul(z, plane), b.mul(y, nx)), x)
+        neighbours = b.add(
+            b.add(
+                b.add(b.load(src, b.add(idx, 1)),
+                      b.load(src, b.sub(idx, 1))),
+                b.add(b.load(src, b.add(idx, nx)),
+                      b.load(src, b.sub(idx, nx))),
+            ),
+            b.add(b.load(src, b.add(idx, plane)),
+                  b.load(src, b.sub(idx, plane))),
+        )
+        centre = b.load(src, idx)
+        b.store(dst, idx, b.add(b.mul(c1, neighbours), b.mul(c0, centre)))
+    return [b.finish()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    nx, ny, nz = 8 * scale, 8 * scale, 4 * scale
+    return {
+        "nx": nx, "ny": ny, "nz": nz, "c0": 0.5, "c1": 1.0 / 12.0,
+        "src": rng.random(nx * ny * nz, dtype=np.float32),
+    }
+
+
+def run(ctx, prog, wl) -> dict:
+    nx, ny, nz = wl["nx"], wl["ny"], wl["nz"]
+    src = ctx.buffer(wl["src"])
+    dst = ctx.alloc(nx * ny * nz)
+    prog.launch("stencil", [src, dst, nx, ny, nz, wl["c0"], wl["c1"]],
+                global_size=(nx, ny, nz), local_size=(8, 2, 1))
+    return {"dst": dst.read()}
+
+
+def reference(wl) -> dict:
+    nx, ny, nz = wl["nx"], wl["ny"], wl["nz"]
+    g = wl["src"].reshape(nz, ny, nx).astype(np.float32)
+    out = np.zeros_like(g)
+    c0, c1 = np.float32(wl["c0"]), np.float32(wl["c1"])
+    neigh = (
+        g[1:-1, 1:-1, 2:].astype(np.float32) + g[1:-1, 1:-1, :-2]
+        + g[1:-1, 2:, 1:-1] + g[1:-1, :-2, 1:-1]
+        + g[2:, 1:-1, 1:-1] + g[:-2, 1:-1, 1:-1]
+    )
+    out[1:-1, 1:-1, 1:-1] = c1 * neigh + c0 * g[1:-1, 1:-1, 1:-1]
+    return {"dst": out.reshape(-1)}
+
+
+register(Benchmark(
+    name="stencil",
+    table_name="Stencil",
+    source="parboil",
+    tags=frozenset({"stencil"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+    tolerance=1e-3,
+))

@@ -1,0 +1,72 @@
+"""Streamcluster — the pgain distance kernel (Rodinia): cost of
+assigning every point to a candidate centre."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import FLOAT32, GLOBAL_FLOAT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+
+def build():
+    b = KernelBuilder("pgain_dist")
+    coords = b.param("coords", GLOBAL_FLOAT32)  # npoints x dim, row-major
+    weights = b.param("weights", GLOBAL_FLOAT32)
+    centre = b.param("centre", GLOBAL_FLOAT32)  # dim floats
+    cost = b.param("cost", GLOBAL_FLOAT32)
+    npoints = b.param("npoints", INT32)
+    dim = b.param("dim", INT32)
+    pt = b.global_id(0)
+    with b.if_(b.lt(pt, npoints)):
+        acc = b.var("acc", FLOAT32, init=0.0)
+        with b.for_range(0, dim) as d:
+            diff = b.sub(b.load(coords, b.add(b.mul(pt, dim), d)),
+                         b.load(centre, d))
+            acc.set(b.add(acc.get(), b.mul(diff, diff)))
+        b.store(cost, pt, b.mul(acc.get(), b.load(weights, pt)))
+    return [b.finish()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    npoints = 64 * scale
+    dim = 4
+    return {
+        "npoints": npoints,
+        "dim": dim,
+        "coords": rng.random(npoints * dim, dtype=np.float32),
+        "weights": (rng.random(npoints, dtype=np.float32) + 0.5),
+        "centre": rng.random(dim, dtype=np.float32),
+    }
+
+
+def run(ctx, prog, wl) -> dict:
+    coords = ctx.buffer(wl["coords"])
+    weights = ctx.buffer(wl["weights"])
+    centre = ctx.buffer(wl["centre"])
+    cost = ctx.alloc(wl["npoints"])
+    prog.launch(
+        "pgain_dist",
+        [coords, weights, centre, cost, wl["npoints"], wl["dim"]],
+        global_size=wl["npoints"], local_size=16,
+    )
+    return {"cost": cost.read()}
+
+
+def reference(wl) -> dict:
+    pts = wl["coords"].reshape(wl["npoints"], wl["dim"]).astype(np.float64)
+    d = ((pts - wl["centre"].astype(np.float64)) ** 2).sum(axis=1)
+    return {"cost": (d * wl["weights"]).astype(np.float32)}
+
+
+register(Benchmark(
+    name="streamcluster",
+    table_name="Streamcluster",
+    source="rodinia",
+    tags=frozenset({"strided"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+))

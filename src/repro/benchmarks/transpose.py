@@ -1,0 +1,63 @@
+"""Transpose — out[x][y] = in[y][x] (NVIDIA OpenCL SDK sample, naive).
+
+The paper's Figure 7 describes it as "working with a two-dimensional
+array, swapping values at opposite locations": coalesced loads, strided
+(uncoalesced) stores. The second subject of the warp/thread sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ocl import GLOBAL_FLOAT32, INT32, KernelBuilder
+from .suite import Benchmark, register
+
+
+def build():
+    b = KernelBuilder("transpose")
+    src = b.param("src", GLOBAL_FLOAT32)
+    dst = b.param("dst", GLOBAL_FLOAT32)
+    width = b.param("width", INT32)
+    height = b.param("height", INT32)
+    x = b.global_id(0)
+    y = b.global_id(1)
+    with b.if_(b.logical_and(b.lt(x, width), b.lt(y, height))):
+        v = b.load(src, b.add(b.mul(y, width), x))
+        b.store(dst, b.add(b.mul(x, height), y), v)
+    return [b.finish()]
+
+
+def workload(scale: int = 1, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    w = h = 16 * scale
+    return {
+        "width": w,
+        "height": h,
+        "src": rng.random(w * h, dtype=np.float32),
+    }
+
+
+def run(ctx, prog, wl) -> dict:
+    w, h = wl["width"], wl["height"]
+    src = ctx.buffer(wl["src"])
+    dst = ctx.alloc(w * h)
+    prog.launch("transpose", [src, dst, w, h],
+                global_size=(w, h), local_size=(8, 2))
+    return {"dst": dst.read()}
+
+
+def reference(wl) -> dict:
+    w, h = wl["width"], wl["height"]
+    return {"dst": wl["src"].reshape(h, w).T.reshape(-1).copy()}
+
+
+register(Benchmark(
+    name="transpose",
+    table_name="Transpose",
+    source="nvidia_sdk",
+    tags=frozenset({"strided"}),
+    build=build,
+    workload=workload,
+    run=run,
+    reference=reference,
+))

@@ -1,0 +1,60 @@
+"""Exception hierarchy shared across the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError`, so callers can
+catch a single base class at the harness boundary while tests assert on the
+specific failure kind (e.g. the HLS flow raising :class:`SynthesisError`
+with a machine-readable ``reason``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class IRError(ReproError):
+    """Malformed kernel IR (verifier failures, bad builder usage)."""
+
+
+class TypeMismatchError(IRError):
+    """An instruction was given operands of the wrong type."""
+
+
+class RuntimeLaunchError(ReproError):
+    """Invalid kernel launch (bad NDRange, missing arguments, ...)."""
+
+
+class InterpreterError(ReproError):
+    """The functional interpreter hit an invalid state (OOB access, ...)."""
+
+
+class CompilationError(ReproError):
+    """A backend compiler (HLS or Vortex) rejected the kernel."""
+
+
+class SynthesisError(CompilationError):
+    """HLS synthesis failure, mirroring the AOC failure modes in the paper.
+
+    Attributes
+    ----------
+    reason:
+        Machine-readable failure category. The paper's Table I uses two:
+        ``"bram"`` (not enough BRAM) and ``"atomics"`` (atomic functions
+        unsupported on a heterogeneous-memory device).
+    detail:
+        Free-form human-readable diagnostic.
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        self.detail = detail
+        super().__init__(f"synthesis failed ({reason}): {detail}")
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulator detected an illegal execution."""
+
+
+class TrapError(SimulationError):
+    """A simulated Vortex core executed an illegal/unaligned operation."""

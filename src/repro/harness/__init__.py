@@ -1,0 +1,51 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+* :mod:`repro.harness.coverage` — Table I (benchmark coverage),
+* :mod:`repro.harness.case_study` — Table II / Fig. 6 (backprop O1/O2),
+* :mod:`repro.harness.area_tables` — Tables III and IV (area reports),
+* :mod:`repro.harness.sweep` — Figure 7 (warp/thread sweep on SimX).
+"""
+
+from .area_tables import (
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    Table3Report,
+    Table4Report,
+    run_table3,
+    run_table4,
+)
+from .case_study import (
+    PAPER_TABLE2,
+    CaseStudyReport,
+    run_auto_cse_ablation,
+    run_case_study,
+)
+from .coverage import PAPER_TABLE1, CoverageReport, run_coverage
+from .dse import Candidate, DSEResult, explore_design_space
+from .sweep import PAPER_FIG7, SweepResult, render_comparison, run_sweep
+from .tables import render_heatmap, render_table
+
+__all__ = [
+    "CaseStudyReport",
+    "Candidate",
+    "CoverageReport",
+    "DSEResult",
+    "PAPER_FIG7",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "SweepResult",
+    "Table3Report",
+    "Table4Report",
+    "explore_design_space",
+    "render_comparison",
+    "render_heatmap",
+    "render_table",
+    "run_auto_cse_ablation",
+    "run_case_study",
+    "run_coverage",
+    "run_sweep",
+    "run_table3",
+    "run_table4",
+]

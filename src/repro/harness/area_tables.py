@@ -1,0 +1,108 @@
+"""Experiments E4 and E5 — Tables III and IV: synthesis area reports.
+
+Table III: per-benchmark HLS areas (the application *is* the hardware).
+Table IV: per-configuration Vortex areas (the hardware is fixed; any
+application runs on it) — the paper's structural contrast in §III-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..benchmarks import get_benchmark
+from ..hls import AreaReport, aoc
+from ..vortex import VortexConfig
+from ..vortex.area import VortexAreaReport, estimate as vortex_estimate
+from .tables import render_table
+
+#: Paper Table III rows: benchmark -> (ALUTs, FFs, BRAMs, DSPs).
+PAPER_TABLE3 = {
+    "Vecadd": (83_792, 263_632, 1_065, 1),
+    "Matmul": (250_218, 415_893, 2_696, 5),
+    "Gauss": (537_571, 1_174_446, 6_384, 10),
+    "BFS": (256_690, 1_172_664, 5_892, 6),
+}
+
+_TABLE3_BENCHMARKS = {
+    "Vecadd": "vecadd",
+    "Matmul": "matmul",
+    "Gauss": "gaussian",
+    "BFS": "bfs",
+}
+
+#: Paper Table IV rows: (C, W, T) -> (ALUTs, FFs, BRAMs, DSPs).
+PAPER_TABLE4 = {
+    (2, 4, 16): (332_143, 459_349, 1_275, 896),
+    (2, 8, 16): (336_568, 459_353, 1_299, 896),
+    (2, 16, 16): (341_134, 478_735, 1_299, 896),
+    (4, 8, 16): (617_748, 793_976, 2_235, 1_792),
+    (4, 16, 16): (626_688, 827_757, 2_235, 1_792),
+}
+
+
+@dataclass
+class Table3Report:
+    rows: dict[str, AreaReport]
+
+    def render(self) -> str:
+        body = []
+        for name, area in self.rows.items():
+            r = area.as_row()
+            paper = PAPER_TABLE3[name]
+            body.append([
+                name, f"{r['ALUTs']:,}", f"{r['FFs']:,}",
+                f"{r['BRAMs']:,}", f"{r['DSPs']:,}", f"{paper[2]:,}",
+            ])
+        return render_table(
+            ["Benchmark name", "ALUTs", "FFs", "BRAMs", "DSPs",
+             "paper BRAMs"],
+            body,
+            title="Table III: Synthesis area report (Intel HLS model)",
+        )
+
+
+def run_table3() -> Table3Report:
+    rows = {}
+    for label, module in _TABLE3_BENCHMARKS.items():
+        bench = get_benchmark(module)
+        rows[label] = aoc(bench.build(), enforce_capacity=False)
+    return Table3Report(rows=rows)
+
+
+@dataclass
+class Table4Report:
+    rows: dict[tuple[int, int, int], VortexAreaReport]
+
+    def render(self) -> str:
+        body = []
+        for (c, w, t), report in self.rows.items():
+            paper = PAPER_TABLE4[(c, w, t)]
+            body.append([
+                f"{c}", f"{w}", f"{t}",
+                f"{report.aluts:,}", f"{report.ffs:,}",
+                f"{report.brams:,}", f"{report.dsps:,}",
+                f"{paper[0]:,}",
+            ])
+        return render_table(
+            ["C", "W", "T", "ALUTs", "FFs", "BRAMs", "DSPs",
+             "paper ALUTs"],
+            body,
+            title="Table IV: Synthesis area report (Vortex model)",
+        )
+
+    def max_relative_error(self) -> float:
+        worst = 0.0
+        for key, report in self.rows.items():
+            paper = PAPER_TABLE4[key]
+            got = (report.aluts, report.ffs, report.brams, report.dsps)
+            for g, p in zip(got, paper):
+                worst = max(worst, abs(g - p) / p)
+        return worst
+
+
+def run_table4() -> Table4Report:
+    rows = {}
+    for (c, w, t) in PAPER_TABLE4:
+        config = VortexConfig(cores=c, warps=w, threads=t)
+        rows[(c, w, t)] = vortex_estimate(config)
+    return Table4Report(rows=rows)

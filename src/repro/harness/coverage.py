@@ -1,0 +1,128 @@
+"""Experiment E1 — Table I: benchmark coverage of both flows.
+
+Runs every Table-I benchmark through the Vortex backend (SX2800, DDR4)
+and the Intel-HLS model (MX2100, HBM2 — the board each flow used in the
+paper) and records pass/fail with the failure reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..benchmarks import all_benchmarks, run_benchmark
+from ..hls import HLSBackend, STRATIX10_MX2100
+from ..vortex import VortexBackend, VortexConfig
+from .tables import render_table
+
+#: The paper's Table I: benchmark -> (vortex_ok, hls_ok, reason).
+PAPER_TABLE1: dict[str, tuple[bool, bool, str]] = {
+    "Vecadd": (True, True, ""),
+    "Sgemm": (True, True, ""),
+    "Psort": (True, True, ""),
+    "Saxpy": (True, True, ""),
+    "Sfilter": (True, True, ""),
+    "Dotproduct": (True, True, ""),
+    "SPMV": (True, True, ""),
+    "Cutcp": (True, True, ""),
+    "Stencil": (True, True, ""),
+    "Lbm": (True, False, "Not enough BRAM"),
+    "OCLPrintf": (True, True, ""),
+    "Blackscholes": (True, True, ""),
+    "Matmul": (True, True, ""),
+    "Transpose": (True, True, ""),
+    "Kmeans": (True, True, ""),
+    "Nearn": (True, True, ""),
+    "Gaussian": (True, True, ""),
+    "BFS": (True, True, ""),
+    "Backprop": (True, False, "Not enough BRAM"),
+    "Streamcluster": (True, True, ""),
+    "pathfinder": (True, True, ""),
+    "nw": (True, True, ""),
+    "B+tree": (True, False, "Not enough BRAM"),
+    "LavaMD": (True, True, ""),
+    "Hybridsort": (True, False, "Atomics"),
+    "Particlefilter": (True, True, ""),
+    "Dwd2d": (True, False, "Not enough BRAM"),
+    "LUD": (True, False, "Not enough BRAM"),
+}
+
+
+@dataclass
+class CoverageCell:
+    passed: bool
+    reason: str = ""
+    detail: str = ""
+
+    @property
+    def mark(self) -> str:
+        return "O" if self.passed else "X"
+
+
+@dataclass
+class CoverageReport:
+    rows: dict[str, tuple[CoverageCell, CoverageCell]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def vortex_passes(self) -> int:
+        return sum(1 for v, _ in self.rows.values() if v.passed)
+
+    @property
+    def hls_passes(self) -> int:
+        return sum(1 for _, h in self.rows.values() if h.passed)
+
+    def matches_paper(self) -> bool:
+        """True if every pass/fail cell and failure reason matches the
+        published Table I."""
+        for name, (vortex, hls) in self.rows.items():
+            want_v, want_h, want_reason = PAPER_TABLE1[name]
+            if vortex.passed != want_v or hls.passed != want_h:
+                return False
+            if not hls.passed and hls.reason != want_reason:
+                return False
+        return True
+
+    def render(self) -> str:
+        rows = []
+        for name, (vortex, hls) in self.rows.items():
+            reason = hls.reason if not hls.passed else (
+                vortex.reason if not vortex.passed else "")
+            rows.append([name, vortex.mark, hls.mark, reason])
+        return render_table(
+            ["Benchmark Name", "Vortex", "Intel SDK", "Reason to Fail"],
+            rows,
+            title="Table I: Benchmark Coverage",
+        )
+
+
+def _cell(result) -> CoverageCell:
+    if result.ok:
+        return CoverageCell(passed=True)
+    if result.fail_reason == "bram":
+        return CoverageCell(False, "Not enough BRAM", result.detail)
+    if result.fail_reason == "atomics":
+        return CoverageCell(False, "Atomics", result.detail)
+    return CoverageCell(False, result.status, result.detail)
+
+
+def run_coverage(
+    scale: int = 1,
+    vortex_config: VortexConfig | None = None,
+    validate: bool = True,
+) -> CoverageReport:
+    """Regenerate Table I (validating outputs on both flows)."""
+    report = CoverageReport()
+    for bench in all_benchmarks():
+        vortex_result = run_benchmark(
+            bench, VortexBackend(vortex_config or VortexConfig()),
+            scale=scale, validate=validate,
+        )
+        hls_result = run_benchmark(
+            bench, HLSBackend(device=STRATIX10_MX2100),
+            scale=scale, validate=validate,
+        )
+        report.rows[bench.table_name] = (
+            _cell(vortex_result), _cell(hls_result)
+        )
+    return report

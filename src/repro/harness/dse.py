@@ -1,0 +1,126 @@
+"""Design-space exploration for Vortex configurations.
+
+The paper's conclusion calls for exactly this: "the optimal hardware
+configuration in the soft GPU was found to be application-dependent.
+This underscores the need for a more sophisticated approach, such as an
+analytical model, to identify the optimal soft GPU configuration."
+
+:func:`explore_design_space` combines three repro components:
+
+1. the **synthesis-area model** filters configurations to those that fit
+   the target FPGA (no Quartus run per point);
+2. the **analytical performance model** ranks the survivors from one
+   configuration-independent kernel profile (no cycle simulation per
+   point);
+3. optionally, the **SimX cycle simulator** verifies the top candidates.
+
+The result is the paper's exploration loop at a cost of one interpreter
+run plus `verify_top` simulations, instead of synthesizing or simulating
+the full grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SynthesisError
+from ..hls.device import FPGADevice, STRATIX10_SX2800
+from ..vortex.analytical import KernelProfile, Prediction, predict
+from ..vortex.area import VortexAreaReport, synthesize
+from ..vortex.simx.config import VortexConfig
+from .tables import render_table
+
+
+@dataclass
+class Candidate:
+    config: VortexConfig
+    area: VortexAreaReport
+    prediction: Prediction
+    simulated_cycles: int | None = None
+
+    @property
+    def geometry(self) -> tuple[int, int, int]:
+        c = self.config
+        return (c.cores, c.warps, c.threads)
+
+
+@dataclass
+class DSEResult:
+    device: FPGADevice
+    candidates: list[Candidate] = field(default_factory=list)
+    rejected: list[tuple[tuple[int, int, int], str]] = field(
+        default_factory=list)
+
+    @property
+    def best(self) -> Candidate:
+        """Best verified candidate; predicted cycles and simulated cycles
+        are different scales, so once anything was simulated only the
+        simulated candidates compete."""
+        simulated = [c for c in self.candidates
+                     if c.simulated_cycles is not None]
+        if simulated:
+            return min(simulated, key=lambda c: c.simulated_cycles)
+        return min(self.candidates, key=lambda c: c.prediction.cycles)
+
+    def render(self, top: int = 8) -> str:
+        ranked = sorted(self.candidates,
+                        key=lambda cand: cand.prediction.cycles)
+        rows = []
+        for cand in ranked[:top]:
+            rows.append([
+                cand.config.label(),
+                f"{cand.prediction.cycles:,.0f}",
+                cand.prediction.bottleneck,
+                f"{cand.area.aluts:,}",
+                f"{cand.area.brams:,}",
+                f"{cand.simulated_cycles:,}"
+                if cand.simulated_cycles is not None else "-",
+            ])
+        return render_table(
+            ["config", "predicted cycles", "bottleneck", "ALUTs", "BRAMs",
+             "simulated"],
+            rows,
+            title=(f"Design-space exploration on {self.device.name} "
+                   f"({len(self.candidates)} feasible, "
+                   f"{len(self.rejected)} rejected)"),
+        )
+
+
+def explore_design_space(
+    profile: KernelProfile,
+    device: FPGADevice = STRATIX10_SX2800,
+    core_counts: tuple[int, ...] = (1, 2, 4, 8),
+    warp_sizes: tuple[int, ...] = (2, 4, 8, 16),
+    thread_sizes: tuple[int, ...] = (2, 4, 8, 16),
+    items_per_group: int = 16,
+    base: VortexConfig | None = None,
+    simulate_top: int = 0,
+    simulate=None,
+) -> DSEResult:
+    """Enumerate (C, W, T), filter by area, rank analytically.
+
+    ``simulate`` (optional) is a callable ``config -> cycles`` used to
+    verify the ``simulate_top`` best-predicted candidates.
+    """
+    base = base or VortexConfig()
+    result = DSEResult(device=device)
+    for c in core_counts:
+        for w in warp_sizes:
+            for t in thread_sizes:
+                config = base.with_geometry(cores=c, warps=w, threads=t)
+                try:
+                    area = synthesize(config, device)
+                except SynthesisError as exc:
+                    result.rejected.append(((c, w, t), exc.reason))
+                    continue
+                prediction = predict(profile, config,
+                                     items_per_group=items_per_group)
+                result.candidates.append(
+                    Candidate(config=config, area=area,
+                              prediction=prediction))
+    if simulate_top and simulate is not None:
+        ranked = sorted(result.candidates,
+                        key=lambda cand: cand.prediction.cycles)
+        for cand in ranked[:simulate_top]:
+            cand.simulated_cycles = simulate(cand.config)
+    return result

@@ -1,0 +1,136 @@
+"""Experiment E3 — Figure 7: Vortex warp/thread configuration sweep.
+
+Runs vecadd and transpose on the SimX model with 4 cores and every
+(warps, threads) combination in {2,4,8,16}^2, normalizing cycles to the
+per-benchmark minimum — the paper's heatmap. Work-group sizes adapt to
+the configuration (PoCL clamps the group size to what the device
+supports), exactly as a real launch would.
+
+The paper's quoted shape: vecadd reaches its optimum at 4 warps / 4
+threads and degrades ~27% at 8/8 and ~11% at 8 warps / 4 threads (more
+LSU stalls from its higher load density); transpose peaks at 8/8 and
+loses ~44% at 4/4 and ~17% at 8 warps / 4 threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..benchmarks import get_benchmark
+from ..ocl import Context
+from ..vortex import VortexBackend, VortexConfig
+from .tables import render_heatmap, render_table
+
+WARP_SIZES = (2, 4, 8, 16)
+THREAD_SIZES = (2, 4, 8, 16)
+
+#: Ratios quoted in §III-C, relative to each benchmark's optimum.
+PAPER_FIG7 = {
+    "vecadd": {"best": (4, 4), (8, 8): 1.27, (8, 4): 1.11},
+    "transpose": {"best": (8, 8), (4, 4): 1.44, (8, 4): 1.17},
+}
+
+
+@dataclass
+class SweepResult:
+    benchmark: str
+    cycles: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: LSU stalls: loads bounced off full MSHRs (replays).
+    lsu_stalls: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    @property
+    def best(self) -> tuple[int, int]:
+        return min(self.cycles, key=self.cycles.get)
+
+    def normalized(self) -> dict[tuple[int, int], float]:
+        floor = self.cycles[self.best]
+        return {k: v / floor for k, v in self.cycles.items()}
+
+    def ratio(self, warps: int, threads: int) -> float:
+        return self.cycles[(warps, threads)] / self.cycles[self.best]
+
+    def render(self) -> str:
+        return render_heatmap(
+            self.normalized(),
+            title=(f"Figure 7 ({self.benchmark}): normalized cycles, "
+                   f"4 cores (best = {self.best})"),
+        )
+
+
+def _launch_vecadd(config: VortexConfig, n: int) -> "tuple[int, int]":
+    bench = get_benchmark("vecadd")
+    ctx = Context(VortexBackend(config))
+    prog = ctx.program(bench.build())
+    rng = np.random.default_rng(0)
+    a = ctx.buffer(rng.random(n, dtype=np.float32))
+    b = ctx.buffer(rng.random(n, dtype=np.float32))
+    c = ctx.alloc(n)
+    local = min(16, config.warps * config.threads)
+    stats = prog.launch("vecadd", [a, b, c, n], n, local)
+    return stats.cycles, stats.extra.get("lsu_replays", 0)
+
+
+def _launch_transpose(config: VortexConfig, dim: int) -> "tuple[int, int]":
+    bench = get_benchmark("transpose")
+    ctx = Context(VortexBackend(config))
+    prog = ctx.program(bench.build())
+    rng = np.random.default_rng(0)
+    src = ctx.buffer(rng.random(dim * dim, dtype=np.float32))
+    dst = ctx.alloc(dim * dim)
+    cap = config.warps * config.threads
+    lx = min(4, cap)
+    ly = max(1, min(4, cap // lx))
+    stats = prog.launch("transpose", [src, dst, dim, dim],
+                        (dim, dim), (lx, ly))
+    return stats.cycles, stats.extra.get("lsu_replays", 0)
+
+
+def run_sweep(
+    benchmark: str = "vecadd",
+    cores: int = 4,
+    n: int = 4096,
+    warp_sizes: tuple[int, ...] = WARP_SIZES,
+    thread_sizes: tuple[int, ...] = THREAD_SIZES,
+    base_config: VortexConfig | None = None,
+) -> SweepResult:
+    """Sweep one benchmark over the (warps, threads) grid."""
+    if benchmark not in ("vecadd", "transpose"):
+        raise ValueError("the Figure 7 sweep covers vecadd and transpose")
+    base = base_config or VortexConfig()
+    result = SweepResult(benchmark=benchmark)
+    for w in warp_sizes:
+        for t in thread_sizes:
+            config = base.with_geometry(cores=cores, warps=w, threads=t)
+            if benchmark == "vecadd":
+                cycles, stalls = _launch_vecadd(config, n)
+            else:
+                dim = int(round(n ** 0.5))
+                dim -= dim % 16
+                cycles, stalls = _launch_transpose(config, max(dim, 16))
+            result.cycles[(w, t)] = cycles
+            result.lsu_stalls[(w, t)] = stalls
+    return result
+
+
+def render_comparison(results: list[SweepResult]) -> str:
+    """Side-by-side measured-vs-paper ratio table."""
+    rows = []
+    for res in results:
+        paper = PAPER_FIG7[res.benchmark]
+        rows.append([
+            res.benchmark,
+            f"{res.best}",
+            f"{paper['best']}",
+            f"{res.ratio(8, 8):.2f} / {paper.get((8, 8), float('nan')):.2f}"
+            if res.benchmark == "vecadd" else
+            f"{res.ratio(4, 4):.2f} / {paper.get((4, 4), float('nan')):.2f}",
+            f"{res.ratio(8, 4):.2f} / {paper.get((8, 4), float('nan')):.2f}",
+        ])
+    return render_table(
+        ["benchmark", "best (measured)", "best (paper)",
+         "suboptimal ratio (meas/paper)", "8w4t ratio (meas/paper)"],
+        rows,
+        title="Figure 7 sweep vs paper",
+    )

@@ -1,0 +1,152 @@
+"""HLS area estimation.
+
+``estimate(kernel)`` walks the IR, infers LSUs (:mod:`repro.hls.lsu`),
+counts operators, local-array storage, loops and barriers, and prices
+everything with the calibrated constants in
+:mod:`repro.hls.calibration`. ``estimate_program`` sums over the kernels
+of a benchmark, matching how the Intel SDK synthesizes every kernel of a
+``.cl`` file into one bitstream (which is why multi-kernel benchmarks are
+the ones that exhaust BRAM in Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..ocl.ir import Instr, Kernel, Opcode, TRANSCENDENTAL
+from ..ocl.types import AddressSpace
+from ..passes import loops as loop_analysis
+from . import calibration as cal
+from .lsu import LSUSite, classify_kernel
+
+
+@dataclass
+class AreaReport:
+    """Synthesis-style area report (the unit of Tables II and III)."""
+
+    aluts: int = 0
+    ffs: int = 0
+    brams: int = 0
+    dsps: int = 0
+    #: Breakdown: component label -> (aluts, ffs, brams, dsps).
+    breakdown: dict[str, tuple[int, int, int, int]] = field(default_factory=dict)
+    #: Inferred LSU sites (for reports and tests).
+    lsu_sites: list[LSUSite] = field(default_factory=list)
+
+    def add(self, label: str, cost: cal.SiteCost, count: int = 1) -> None:
+        if count == 0:
+            return
+        self.aluts += cost.aluts * count
+        self.ffs += cost.ffs * count
+        self.brams += cost.brams * count
+        self.dsps += cost.dsps * count
+        prev = self.breakdown.get(label, (0, 0, 0, 0))
+        self.breakdown[label] = (
+            prev[0] + cost.aluts * count,
+            prev[1] + cost.ffs * count,
+            prev[2] + cost.brams * count,
+            prev[3] + cost.dsps * count,
+        )
+
+    def merge(self, other: "AreaReport") -> "AreaReport":
+        out = AreaReport(
+            aluts=self.aluts + other.aluts,
+            ffs=self.ffs + other.ffs,
+            brams=self.brams + other.brams,
+            dsps=self.dsps + other.dsps,
+        )
+        out.breakdown = dict(self.breakdown)
+        for label, (a, f, b, d) in other.breakdown.items():
+            prev = out.breakdown.get(label, (0, 0, 0, 0))
+            out.breakdown[label] = (prev[0] + a, prev[1] + f, prev[2] + b, prev[3] + d)
+        out.lsu_sites = self.lsu_sites + other.lsu_sites
+        return out
+
+    def as_row(self) -> dict[str, int]:
+        return {
+            "ALUTs": self.aluts,
+            "FFs": self.ffs,
+            "BRAMs": self.brams,
+            "DSPs": self.dsps,
+        }
+
+
+_INT_ALU_OPS = frozenset(
+    {
+        Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+        Opcode.SHL, Opcode.ASHR, Opcode.LSHR, Opcode.IMIN, Opcode.IMAX,
+        Opcode.IABS, Opcode.ICMP, Opcode.ZEXT,
+    }
+)
+_FP_ADD_OPS = frozenset(
+    {Opcode.FADD, Opcode.FSUB, Opcode.FNEG, Opcode.FABS, Opcode.FLOOR,
+     Opcode.FMIN, Opcode.FMAX, Opcode.FCMP}
+)
+
+
+def _op_label(ins: Instr) -> str | None:
+    op = ins.op
+    if op in _INT_ALU_OPS:
+        return "int_alu"
+    if op is Opcode.MUL:
+        return "int_mul"
+    if op in (Opcode.DIV, Opcode.REM):
+        return "int_div"
+    if op in _FP_ADD_OPS:
+        return "fp_add"
+    if op is Opcode.FMUL:
+        return "fp_mul"
+    if op is Opcode.FDIV:
+        return "fp_div"
+    if op in TRANSCENDENTAL:
+        return "fp_transcendental"
+    if op is Opcode.SELECT:
+        return "select"
+    if op in (Opcode.SITOFP, Opcode.FPTOSI):
+        return "convert"
+    return None
+
+
+def estimate(kernel: Kernel) -> AreaReport:
+    """Estimate synthesis area of a single kernel."""
+    report = AreaReport()
+    report.add("kernel_base", cal.KERNEL_BASE)
+
+    sites = classify_kernel(kernel)
+    report.lsu_sites = sites
+    for site in sites:
+        cost = cal.LSU_COSTS[(site.kind, site.is_store)]
+        report.add(f"lsu_{site.kind.value}", cost)
+
+    for ins in kernel.instructions():
+        label = _op_label(ins)
+        if label is not None:
+            report.add(label, cal.OP_COSTS[label])
+        elif ins.op is Opcode.BARRIER:
+            report.add("barrier", cal.BARRIER_COST)
+        elif ins.op is Opcode.PRINTF:
+            report.add("printf", cal.PRINTF_COST)
+
+    for arr in kernel.arrays:
+        blocks = -(-arr.size * arr.ty.element.size_bytes // cal.M20K_BYTES)
+        replication = (
+            cal.LOCAL_REPLICATION if arr.space is AddressSpace.LOCAL else 1
+        )
+        storage = cal.SiteCost(aluts=120, ffs=260, brams=blocks * replication)
+        report.add("local_storage", storage)
+
+    nblocks = len(kernel.blocks)
+    report.add("control", cal.BLOCK_COST, count=nblocks)
+    info = loop_analysis.analyze(kernel)
+    report.add("loop_orchestration", cal.LOOP_COST, count=len(info.loops))
+    return report
+
+
+def estimate_program(kernels: Iterable[Kernel]) -> AreaReport:
+    """Sum kernel areas: the SDK synthesizes all kernels of a program into
+    one bitstream."""
+    total = AreaReport()
+    for kernel in kernels:
+        total = total.merge(estimate(kernel))
+    return total

@@ -1,0 +1,168 @@
+"""The AOC-style HLS compiler entry point.
+
+``HLSBackend`` models one invocation of the Intel FPGA SDK for OpenCL
+compiling an OpenCL program (all of its kernels) into a single bitstream
+for one device. Failure modes mirror Table I:
+
+* kernels containing atomic functions cannot be synthesized against a
+  device with a heterogeneous (HBM2) memory system →
+  ``SynthesisError(reason="atomics")`` (the hybridsort case);
+* the accumulated area of the program's kernels exceeding a device
+  resource, BRAMs above all → ``SynthesisError(reason="bram")`` (the
+  lbm / backprop / b+tree / dwt2d / lud cases).
+
+The backend is *stateful across builds*, like a real bitstream: every
+kernel built through one ``HLSBackend`` instance lands in the same FPGA
+image and the capacity check applies to the running total.
+
+Execution of a built kernel is functional (the reference interpreter)
+plus the pipeline timing model of :mod:`repro.hls.perf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import SynthesisError
+from ..ocl.host import CompiledKernel, DeviceBackend, LaunchStats
+from ..ocl.interp import interpret
+from ..ocl.ir import Kernel, clone_kernel
+from ..ocl.ndrange import NDRange
+from ..ocl.validate import validate
+from ..passes import cse
+from .area import AreaReport, estimate
+from .device import FPGADevice, STRATIX10_MX2100
+from .perf import estimate_cycles
+
+
+@dataclass
+class SynthesisRecord:
+    """What one kernel contributed to the bitstream."""
+
+    kernel: Kernel
+    area: AreaReport
+    #: Area accumulated in the bitstream after this kernel.
+    cumulative_brams: int
+
+
+class HLSCompiledKernel(CompiledKernel):
+    """A kernel synthesized into the current bitstream."""
+
+    def __init__(self, kernel: Kernel, backend: "HLSBackend", area: AreaReport):
+        super().__init__(kernel)
+        self.backend = backend
+        self.area = area
+
+    def launch(self, args: list[Any], ndrange: NDRange) -> LaunchStats:
+        run = interpret(self.kernel, args, ndrange)
+        est = estimate_cycles(self.kernel, self.area.lsu_sites, ndrange, run)
+        return LaunchStats(
+            kernel_name=self.kernel.name,
+            backend=self.backend.name,
+            cycles=est.cycles,
+            dynamic_instructions=run.dynamic_instructions,
+            printf_output=run.printf_output,
+            extra={
+                "pipeline_depth": est.depth,
+                "initiation_interval": est.initiation_interval,
+                "issue_cycles": est.issue_cycles,
+                "memory_cycles": est.memory_cycles,
+                "time_us": est.time_us(self.backend.device.fmax_mhz),
+                "area": self.area.as_row(),
+            },
+        )
+
+
+class HLSBackend(DeviceBackend):
+    """Intel FPGA SDK for OpenCL model (the "aoc" flow of Figure 3)."""
+
+    name = "intel_hls"
+
+    def __init__(
+        self,
+        device: FPGADevice = STRATIX10_MX2100,
+        auto_cse: bool = False,
+        enforce_capacity: bool = True,
+    ):
+        self.device = device
+        self.auto_cse = auto_cse
+        self.enforce_capacity = enforce_capacity
+        self.records: list[SynthesisRecord] = []
+        self.total = AreaReport()
+
+    # -- compilation -------------------------------------------------------
+
+    def build(self, kernel: Kernel) -> HLSCompiledKernel:
+        validate(kernel)
+        if kernel.uses_atomics() and self.device.memory.heterogeneous:
+            raise SynthesisError(
+                reason="atomics",
+                detail=(
+                    f"kernel {kernel.name!r} uses atomic functions, which "
+                    f"cannot be synthesized for the heterogeneous memory "
+                    f"system of {self.device.name}"
+                ),
+            )
+        if self.auto_cse:
+            kernel = clone_kernel(kernel)
+            cse.run(kernel)
+        area = estimate(kernel)
+        new_total = self.total.merge(area)
+        if self.enforce_capacity:
+            self._check_capacity(kernel, new_total)
+        self.total = new_total
+        self.records.append(
+            SynthesisRecord(
+                kernel=kernel, area=area, cumulative_brams=new_total.brams
+            )
+        )
+        return HLSCompiledKernel(kernel, self, area)
+
+    def _check_capacity(self, kernel: Kernel, total: AreaReport) -> None:
+        dev = self.device
+        if total.brams > dev.brams:
+            raise SynthesisError(
+                reason="bram",
+                detail=(
+                    f"kernel {kernel.name!r}: program requires {total.brams} "
+                    f"BRAM blocks, {dev.name} provides {dev.brams} "
+                    f"({100.0 * total.brams / dev.brams:.0f}% of capacity)"
+                ),
+            )
+        if total.aluts > dev.aluts:
+            raise SynthesisError(
+                reason="aluts",
+                detail=(
+                    f"kernel {kernel.name!r}: program requires {total.aluts} "
+                    f"ALUTs, {dev.name} provides {dev.aluts}"
+                ),
+            )
+        if total.ffs > dev.ffs:
+            raise SynthesisError(
+                reason="ffs",
+                detail=f"program requires {total.ffs} FFs, device has {dev.ffs}",
+            )
+        if total.dsps > dev.dsps:
+            raise SynthesisError(
+                reason="dsps",
+                detail=f"program requires {total.dsps} DSPs, device has {dev.dsps}",
+            )
+
+
+def aoc(
+    kernels: Kernel | list[Kernel],
+    device: FPGADevice = STRATIX10_MX2100,
+    auto_cse: bool = False,
+    enforce_capacity: bool = True,
+) -> AreaReport:
+    """One-shot "aoc" invocation: synthesize a whole program and return
+    its area report; raises :class:`SynthesisError` like the SDK."""
+    if isinstance(kernels, Kernel):
+        kernels = [kernels]
+    backend = HLSBackend(
+        device=device, auto_cse=auto_cse, enforce_capacity=enforce_capacity
+    )
+    for kernel in kernels:
+        backend.build(kernel)
+    return backend.total

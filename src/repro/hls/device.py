@@ -1,0 +1,97 @@
+"""FPGA device database.
+
+Resource capacities for the two Intel Stratix 10 boards used in the
+paper's evaluation (§III): the **MX2100** (HBM2 — the "heterogeneous
+memory system" that makes the SDK reject global atomics, per the
+hybridsort row of Table I) on which the Intel SDK flow was synthesized,
+and the **SX2800** (DDR4) on which Vortex was synthesized.
+
+BRAM capacities are the M20K block counts of the parts; the paper's
+percentages confirm them: backprop's 12,898 BRAMs are reported as 188% of
+capacity and 12,898 / 6,847 = 188.4%, so the HLS target exposes 6,847
+M20Ks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """Off-chip memory profile (also consumed by the Vortex DRAM model)."""
+
+    kind: str  # "ddr4" | "hbm2"
+    peak_bandwidth_gbs: float
+    latency_ns: float
+    channels: int
+
+    @property
+    def heterogeneous(self) -> bool:
+        """HBM2 boards expose a heterogeneous (multi-stack) memory system;
+        the Intel SDK cannot synthesize global atomics against it."""
+        return self.kind == "hbm2"
+
+
+DDR4 = MemorySystem(kind="ddr4", peak_bandwidth_gbs=19.2, latency_ns=80.0, channels=1)
+HBM2 = MemorySystem(kind="hbm2", peak_bandwidth_gbs=409.6, latency_ns=110.0, channels=16)
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """One FPGA part: resource capacities and its memory system."""
+
+    name: str
+    family: str
+    aluts: int
+    ffs: int
+    brams: int  # M20K blocks
+    dsps: int
+    memory: MemorySystem
+    fmax_mhz: float  # typical achievable kernel clock
+
+    def utilization(self, aluts: int, ffs: int, brams: int, dsps: int) -> dict[str, float]:
+        """Fractional utilisation per resource class."""
+        return {
+            "aluts": aluts / self.aluts,
+            "ffs": ffs / self.ffs,
+            "brams": brams / self.brams,
+            "dsps": dsps / self.dsps,
+        }
+
+
+#: Stratix 10 MX2100: 702,720 ALMs (2 ALUTs + 4 FFs each), HBM2.
+STRATIX10_MX2100 = FPGADevice(
+    name="Stratix 10 MX2100",
+    family="Stratix 10",
+    aluts=1_405_440,
+    ffs=2_810_880,
+    brams=6_847,
+    dsps=3_960,
+    memory=HBM2,
+    fmax_mhz=260.0,
+)
+
+#: Stratix 10 SX2800: 933,120 ALMs, DDR4. Vortex's synthesis target.
+STRATIX10_SX2800 = FPGADevice(
+    name="Stratix 10 SX2800",
+    family="Stratix 10",
+    aluts=1_866_240,
+    ffs=3_732_480,
+    brams=11_721,
+    dsps=5_760,
+    memory=DDR4,
+    fmax_mhz=260.0,
+)
+
+DEVICES = {
+    "mx2100": STRATIX10_MX2100,
+    "sx2800": STRATIX10_SX2800,
+}
+
+
+def get_device(name: str) -> FPGADevice:
+    key = name.lower().replace("stratix10_", "").replace("stratix 10 ", "")
+    if key not in DEVICES:
+        raise KeyError(f"unknown device {name!r}; have {sorted(DEVICES)}")
+    return DEVICES[key]

@@ -1,0 +1,68 @@
+"""Rendering of synthesis-style area reports as ASCII tables."""
+
+from __future__ import annotations
+
+from .area import AreaReport
+from .device import FPGADevice
+
+_COLUMNS = ("ALUTs", "FFs", "BRAMs", "DSPs")
+
+
+def format_table(rows: dict[str, AreaReport], title: str = "") -> str:
+    """Render a Table III-style report: one row per benchmark/kernel."""
+    header = ["Name"] + list(_COLUMNS)
+    body = []
+    for name, report in rows.items():
+        r = report.as_row()
+        body.append([name] + [f"{r[c]:,}" for c in _COLUMNS])
+    return _render(header, body, title)
+
+
+def format_utilization(
+    report: AreaReport, device: FPGADevice, title: str = ""
+) -> str:
+    """Render one report with per-resource percentages of the device."""
+    util = device.utilization(report.aluts, report.ffs, report.brams, report.dsps)
+    header = ["Resource", "Used", "Available", "Utilization"]
+    body = [
+        ["ALUTs", f"{report.aluts:,}", f"{device.aluts:,}", f"{util['aluts']:.1%}"],
+        ["FFs", f"{report.ffs:,}", f"{device.ffs:,}", f"{util['ffs']:.1%}"],
+        ["BRAMs", f"{report.brams:,}", f"{device.brams:,}", f"{util['brams']:.1%}"],
+        ["DSPs", f"{report.dsps:,}", f"{device.dsps:,}", f"{util['dsps']:.1%}"],
+    ]
+    return _render(header, body, title or device.name)
+
+
+def format_breakdown(report: AreaReport, title: str = "") -> str:
+    """Render the per-component breakdown of one area report."""
+    header = ["Component", "ALUTs", "FFs", "BRAMs", "DSPs"]
+    body = []
+    for label, (a, f, b, d) in sorted(
+        report.breakdown.items(), key=lambda kv: -kv[1][2]
+    ):
+        body.append([label, f"{a:,}", f"{f:,}", f"{b:,}", f"{d:,}"])
+    body.append(
+        ["TOTAL", f"{report.aluts:,}", f"{report.ffs:,}",
+         f"{report.brams:,}", f"{report.dsps:,}"]
+    )
+    return _render(header, body, title)
+
+
+def _render(header: list[str], body: list[list[str]], title: str) -> str:
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: list[str]) -> str:
+        return " | ".join(c.rjust(w) if i else c.ljust(w)
+                          for i, (c, w) in enumerate(zip(cells, widths)))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(header))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in body)
+    return "\n".join(lines)

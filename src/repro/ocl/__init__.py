@@ -1,0 +1,76 @@
+"""Mini-OpenCL frontend: kernel IR, builder DSL, NDRange, host API.
+
+This package plays the role of "OpenCL source + host runtime" in the
+paper's Figure 2. Kernels are built once with :class:`KernelBuilder` and
+then consumed unmodified by both backends (:mod:`repro.hls` and
+:mod:`repro.vortex`), which is the paper's central experimental control.
+"""
+
+from .builder import KernelBuilder, Var
+from .host import (
+    Buffer,
+    CompiledKernel,
+    Context,
+    DeviceBackend,
+    LaunchStats,
+    Program,
+    ReferenceBackend,
+)
+from . import patterns
+from .interp import RunResult, interpret
+from .ir import Block, Const, Instr, Kernel, LocalArray, Opcode, Param, Value
+from .ndrange import NDRange
+from .types import (
+    BOOL,
+    CONSTANT_FLOAT32,
+    CONSTANT_INT32,
+    FLOAT32,
+    GLOBAL_FLOAT32,
+    GLOBAL_INT32,
+    INT32,
+    LOCAL_FLOAT32,
+    LOCAL_INT32,
+    AddressSpace,
+    PointerType,
+    ScalarType,
+    pointer,
+)
+from .validate import validate
+
+__all__ = [
+    "AddressSpace",
+    "patterns",
+    "BOOL",
+    "Block",
+    "Buffer",
+    "CompiledKernel",
+    "CONSTANT_FLOAT32",
+    "CONSTANT_INT32",
+    "Const",
+    "Context",
+    "DeviceBackend",
+    "FLOAT32",
+    "GLOBAL_FLOAT32",
+    "GLOBAL_INT32",
+    "INT32",
+    "Instr",
+    "Kernel",
+    "KernelBuilder",
+    "LaunchStats",
+    "LOCAL_FLOAT32",
+    "LOCAL_INT32",
+    "LocalArray",
+    "NDRange",
+    "Opcode",
+    "Param",
+    "PointerType",
+    "Program",
+    "ReferenceBackend",
+    "RunResult",
+    "ScalarType",
+    "Value",
+    "Var",
+    "interpret",
+    "pointer",
+    "validate",
+]

@@ -1,0 +1,185 @@
+"""OpenCL-style host API.
+
+This mirrors the paper's Figure 2: the *same* host program drives either
+backend; only the kernel binary differs. A :class:`Context` wraps one
+:class:`DeviceBackend` (reference interpreter, HLS pipeline, or the Vortex
+soft GPU); :class:`Program` compiles kernels for that backend; launching a
+kernel copies buffers in, executes, and copies buffers out.
+
+Backends raise :class:`~repro.errors.CompilationError` (HLS raises the
+:class:`~repro.errors.SynthesisError` subclass) from ``Program.build`` —
+this is exactly the failure the paper's Table I records per benchmark.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import RuntimeLaunchError
+from .interp import interpret
+from .ir import Kernel
+from .ndrange import NDRange
+from .types import is_pointer
+from .validate import validate
+
+
+@dataclass
+class LaunchStats:
+    """What a backend reports for one kernel launch.
+
+    ``cycles`` is meaningful for cycle-simulated backends (Vortex) and for
+    the HLS pipeline model; the reference interpreter reports only dynamic
+    instruction counts. ``extra`` carries backend-specific counters
+    (stalls, cache hits, pipeline occupancy, ...).
+    """
+
+    kernel_name: str
+    backend: str
+    cycles: int | None = None
+    dynamic_instructions: int | None = None
+    printf_output: list[str] = field(default_factory=list)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+class CompiledKernel(abc.ABC):
+    """A kernel built for one backend, ready to launch."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+
+    @abc.abstractmethod
+    def launch(self, args: list[Any], ndrange: NDRange) -> LaunchStats:
+        """Run over ``ndrange``; buffer args are numpy arrays mutated in
+        place (the caller — :class:`Context` — handles host/device copies)."""
+
+
+class DeviceBackend(abc.ABC):
+    """A device + its kernel compiler (one per approach in the paper)."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def build(self, kernel: Kernel) -> CompiledKernel:
+        """Compile one kernel; raises CompilationError on failure."""
+
+
+class ReferenceBackend(DeviceBackend):
+    """Functional-interpreter backend; the correctness oracle."""
+
+    name = "reference"
+
+    def build(self, kernel: Kernel) -> CompiledKernel:
+        validate(kernel)
+        return _ReferenceKernel(kernel)
+
+
+class _ReferenceKernel(CompiledKernel):
+    def launch(self, args: list[Any], ndrange: NDRange) -> LaunchStats:
+        result = interpret(self.kernel, args, ndrange)
+        return LaunchStats(
+            kernel_name=self.kernel.name,
+            backend=ReferenceBackend.name,
+            dynamic_instructions=result.dynamic_instructions,
+            printf_output=result.printf_output,
+            extra={"op_counts": dict(result.op_counts)},
+        )
+
+
+class Buffer:
+    """A device buffer with a host-side shadow array."""
+
+    def __init__(self, context: "Context", host: np.ndarray):
+        if host.ndim != 1 or host.dtype not in (np.int32, np.float32):
+            raise RuntimeLaunchError(
+                "buffers must be 1-D int32/float32 arrays "
+                f"(got ndim={host.ndim}, dtype={host.dtype})"
+            )
+        self.context = context
+        self.host = host
+
+    @property
+    def size(self) -> int:
+        return int(self.host.shape[0])
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.host.dtype
+
+    def read(self) -> np.ndarray:
+        """Return a copy of the current buffer contents."""
+        return self.host.copy()
+
+    def write(self, data: np.ndarray) -> None:
+        if data.shape != self.host.shape:
+            raise RuntimeLaunchError(
+                f"write shape {data.shape} != buffer shape {self.host.shape}"
+            )
+        self.host[:] = data
+
+
+class Program:
+    """A set of kernels compiled for one backend."""
+
+    def __init__(self, context: "Context", kernels: Sequence[Kernel]):
+        self.context = context
+        self.kernels = {k.name: k for k in kernels}
+        self.compiled: dict[str, CompiledKernel] = {}
+        for kernel in kernels:
+            # Build failures propagate: Table I's per-benchmark outcome.
+            self.compiled[kernel.name] = context.backend.build(kernel)
+
+    def launch(
+        self,
+        name: str,
+        args: Sequence[Any],
+        global_size: int | tuple[int, ...],
+        local_size: int | tuple[int, ...] | None = None,
+    ) -> LaunchStats:
+        if name not in self.compiled:
+            raise RuntimeLaunchError(f"no kernel named {name!r} in program")
+        compiled = self.compiled[name]
+        kernel = compiled.kernel
+        ndrange = NDRange.create(global_size, local_size)
+        raw_args: list[Any] = []
+        for param, arg in zip(kernel.params, args):
+            if isinstance(arg, Buffer):
+                raw_args.append(arg.host)
+            elif is_pointer(param.ty):
+                raise RuntimeLaunchError(
+                    f"arg {param.name!r} must be a Buffer, got {type(arg)}"
+                )
+            else:
+                raw_args.append(arg)
+        if len(raw_args) != len(kernel.params):
+            raise RuntimeLaunchError(
+                f"kernel {name} expects {len(kernel.params)} args, "
+                f"got {len(raw_args)}"
+            )
+        return compiled.launch(raw_args, ndrange)
+
+
+class Context:
+    """Top-level host handle bound to a single device backend."""
+
+    def __init__(self, backend: DeviceBackend | None = None):
+        self.backend = backend if backend is not None else ReferenceBackend()
+
+    def buffer(self, data: np.ndarray) -> Buffer:
+        """Create a buffer initialised from (a copy of) ``data``."""
+        arr = np.array(data, copy=True)
+        if arr.dtype == np.int64:
+            arr = arr.astype(np.int32)
+        elif arr.dtype == np.float64:
+            arr = arr.astype(np.float32)
+        return Buffer(self, arr)
+
+    def alloc(self, size: int, dtype: Any = np.float32) -> Buffer:
+        """Create a zero-initialised buffer of ``size`` elements."""
+        return Buffer(self, np.zeros(size, dtype=dtype))
+
+    def program(self, kernels: Sequence[Kernel]) -> Program:
+        return Program(self, kernels)

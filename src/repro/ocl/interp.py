@@ -1,0 +1,446 @@
+"""Functional (work-item level) interpreter for the kernel IR.
+
+This is the reference executor: it runs a kernel over an NDRange with
+OpenCL semantics and bit-faithful arithmetic (int32 wraparound, float32
+rounding after every operation), so its outputs can be compared both
+against each benchmark's numpy reference *and* against the Vortex
+cycle-level simulator, which executes the same kernels from machine code.
+
+Work-group barriers are honoured by running each work item as a Python
+generator that yields at BARRIER; the group scheduler advances all items
+in lock-step between barriers and raises on barrier divergence (which is
+undefined behaviour in OpenCL, and a real bug in a benchmark).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..errors import InterpreterError, RuntimeLaunchError
+from .ir import Block, Const, Instr, Kernel, LocalArray, Opcode, Param, Value
+from .ndrange import NDRange
+from .types import BOOL, FLOAT32, INT32, AddressSpace, is_pointer
+
+_INT_MIN = -(2**31)
+_UINT_MASK = 0xFFFFFFFF
+
+
+def wrap32(x: int) -> int:
+    """Wrap a Python int to signed 32-bit two's complement."""
+    return ((int(x) + 2**31) & _UINT_MASK) - 2**31
+
+
+def f32(x: float) -> float:
+    """Round a Python float to IEEE-754 binary32 (as Python float)."""
+    return float(np.float32(x))
+
+
+@dataclass
+class RunResult:
+    """Output of an interpreter run (buffers are mutated in place)."""
+
+    printf_output: list[str] = field(default_factory=list)
+    op_counts: Counter = field(default_factory=Counter)
+    items_executed: int = 0
+    barriers_executed: int = 0
+
+    @property
+    def dynamic_instructions(self) -> int:
+        return sum(self.op_counts.values())
+
+
+class _ItemState:
+    """Per-work-item execution context."""
+
+    __slots__ = ("gid", "lid", "group", "env", "private_arrays")
+
+    def __init__(self, gid, lid, group):
+        self.gid = gid
+        self.lid = lid
+        self.group = group
+        self.env: dict[int, Any] = {}
+        self.private_arrays: dict[int, np.ndarray] = {}
+
+
+def _check_args(kernel: Kernel, args: list[Any]) -> None:
+    if len(args) != len(kernel.params):
+        raise RuntimeLaunchError(
+            f"kernel {kernel.name} expects {len(kernel.params)} args, "
+            f"got {len(args)}"
+        )
+    for param, arg in zip(kernel.params, args):
+        if is_pointer(param.ty):
+            if not isinstance(arg, np.ndarray) or arg.ndim != 1:
+                raise RuntimeLaunchError(
+                    f"arg {param.name!r} must be a 1-D numpy array"
+                )
+            want = np.int32 if param.ty.element is INT32 else np.float32
+            if arg.dtype != want:
+                raise RuntimeLaunchError(
+                    f"arg {param.name!r}: dtype {arg.dtype} != {np.dtype(want)}"
+                )
+        else:
+            if isinstance(arg, np.ndarray):
+                raise RuntimeLaunchError(
+                    f"arg {param.name!r} is scalar but got an array"
+                )
+
+
+def interpret(
+    kernel: Kernel,
+    args: list[Any],
+    ndrange: NDRange,
+    max_steps_per_item: int = 2_000_000,
+) -> RunResult:
+    """Execute ``kernel`` over ``ndrange``; mutates buffer args in place."""
+    _check_args(kernel, args)
+    result = RunResult()
+
+    base_env: dict[int, Any] = {}
+    for param, arg in zip(kernel.params, args):
+        if is_pointer(param.ty):
+            base_env[id(param)] = arg
+        elif param.ty is FLOAT32:
+            base_env[id(param)] = f32(arg)
+        elif param.ty is BOOL:
+            base_env[id(param)] = bool(arg)
+        else:
+            base_env[id(param)] = wrap32(arg)
+
+    for group in ndrange.groups():
+        _run_group(kernel, base_env, ndrange, group, result, max_steps_per_item)
+    return result
+
+
+def _run_group(
+    kernel: Kernel,
+    base_env: dict[int, Any],
+    ndr: NDRange,
+    group: tuple[int, int, int],
+    result: RunResult,
+    max_steps: int,
+) -> None:
+    local_arrays: dict[int, np.ndarray] = {}
+    for arr in kernel.arrays:
+        dtype = np.int32 if arr.ty.element is INT32 else np.float32
+        if arr.space is AddressSpace.LOCAL:
+            local_arrays[id(arr)] = np.zeros(arr.size, dtype=dtype)
+
+    gens: list[Iterator[None]] = []
+    for local in ndr.local_items():
+        gid = ndr.global_id(group, local)
+        item = _ItemState(gid, local, group)
+        for arr in kernel.arrays:
+            if arr.space is AddressSpace.PRIVATE:
+                dtype = np.int32 if arr.ty.element is INT32 else np.float32
+                item.private_arrays[id(arr)] = np.zeros(arr.size, dtype=dtype)
+        gens.append(
+            _exec_item(kernel, base_env, local_arrays, item, ndr, result, max_steps)
+        )
+        result.items_executed += 1
+
+    # Lock-step between barriers.
+    active = list(range(len(gens)))
+    while active:
+        at_barrier: list[int] = []
+        done: list[int] = []
+        for idx in active:
+            try:
+                next(gens[idx])
+                at_barrier.append(idx)
+            except StopIteration:
+                done.append(idx)
+        if at_barrier and done:
+            raise InterpreterError(
+                f"kernel {kernel.name}: barrier divergence in group {group} "
+                f"({len(at_barrier)} items at a barrier, {len(done)} returned)"
+            )
+        if at_barrier:
+            result.barriers_executed += 1
+        active = at_barrier
+
+
+def _exec_item(
+    kernel: Kernel,
+    base_env: dict[int, Any],
+    local_arrays: dict[int, np.ndarray],
+    item: _ItemState,
+    ndr: NDRange,
+    result: RunResult,
+    max_steps: int,
+) -> Iterator[None]:
+    env = item.env
+    counts = result.op_counts
+    steps = 0
+    block: Block = kernel.entry
+    prev: Block | None = None
+
+    def value_of(v: Value) -> Any:
+        if isinstance(v, Const):
+            if v.ty is FLOAT32:
+                return f32(v.value)
+            return v.value
+        if isinstance(v, Instr):
+            return env[id(v)]
+        if isinstance(v, Param):
+            return base_env[id(v)]
+        if isinstance(v, LocalArray):
+            if v.space is AddressSpace.PRIVATE:
+                return item.private_arrays[id(v)]
+            return local_arrays[id(v)]
+        raise InterpreterError(f"unknown value kind: {v!r}")  # pragma: no cover
+
+    while True:
+        # Phis evaluate in parallel against the edge we arrived on.
+        phi_updates: list[tuple[Instr, Any]] = []
+        for phi in block.phis():
+            for pred, val in phi.attrs["incomings"]:
+                if pred is prev:
+                    phi_updates.append((phi, value_of(val)))
+                    break
+            else:
+                raise InterpreterError(
+                    f"{kernel.name}/{block.name}: phi %{phi.name} has no "
+                    f"incoming for predecessor "
+                    f"{prev.name if prev else '<entry>'}"
+                )
+        for phi, val in phi_updates:
+            env[id(phi)] = val
+            counts[Opcode.PHI] += 1
+
+        for ins in block.non_phis():
+            steps += 1
+            if steps > max_steps:
+                raise InterpreterError(
+                    f"kernel {kernel.name}: work item {item.gid} exceeded "
+                    f"{max_steps} steps (runaway loop?)"
+                )
+            op = ins.op
+            counts[op] += 1
+            if op is Opcode.BR:
+                prev, block = block, ins.targets[0]
+                break
+            if op is Opcode.CBR:
+                taken = bool(value_of(ins.args[0]))
+                prev, block = block, ins.targets[0 if taken else 1]
+                break
+            if op is Opcode.RET:
+                return
+            if op is Opcode.BARRIER:
+                yield
+                continue
+            env[id(ins)] = _eval(kernel, ins, value_of, item, ndr, result)
+        else:  # pragma: no cover - validator guarantees a terminator
+            raise InterpreterError(f"block {block.name} fell through")
+
+
+def _bounds(arr: np.ndarray, idx: int, ins: Instr, kernel: Kernel) -> int:
+    if not 0 <= idx < arr.shape[0]:
+        raise InterpreterError(
+            f"kernel {kernel.name}: out-of-bounds access index {idx} "
+            f"(size {arr.shape[0]}) at '{ins.format()}'"
+        )
+    return idx
+
+
+def _store_value(arr: np.ndarray, val: Any) -> Any:
+    if arr.dtype == np.int32:
+        return wrap32(val)
+    return f32(val)
+
+
+def _eval(
+    kernel: Kernel,
+    ins: Instr,
+    value_of,
+    item: _ItemState,
+    ndr: NDRange,
+    result: RunResult,
+) -> Any:
+    op = ins.op
+    a = ins.args
+
+    # Integer arithmetic with 32-bit wrap.
+    if op is Opcode.ADD:
+        return wrap32(value_of(a[0]) + value_of(a[1]))
+    if op is Opcode.SUB:
+        return wrap32(value_of(a[0]) - value_of(a[1]))
+    if op is Opcode.MUL:
+        return wrap32(value_of(a[0]) * value_of(a[1]))
+    if op is Opcode.DIV:
+        x, y = value_of(a[0]), value_of(a[1])
+        if y == 0:
+            raise InterpreterError(f"{kernel.name}: integer division by zero")
+        return wrap32(int(math.trunc(x / y)) if (x < 0) != (y < 0) else x // y)
+    if op is Opcode.REM:
+        x, y = value_of(a[0]), value_of(a[1])
+        if y == 0:
+            raise InterpreterError(f"{kernel.name}: integer remainder by zero")
+        q = int(math.trunc(x / y)) if (x < 0) != (y < 0) else x // y
+        return wrap32(x - q * y)
+    if op is Opcode.AND:
+        x, y = value_of(a[0]), value_of(a[1])
+        if ins.ty is BOOL:
+            return bool(x) and bool(y)
+        return wrap32(x & y)
+    if op is Opcode.OR:
+        x, y = value_of(a[0]), value_of(a[1])
+        if ins.ty is BOOL:
+            return bool(x) or bool(y)
+        return wrap32(x | y)
+    if op is Opcode.XOR:
+        x, y = value_of(a[0]), value_of(a[1])
+        if ins.ty is BOOL:
+            return bool(x) != bool(y)
+        return wrap32(x ^ y)
+    if op is Opcode.SHL:
+        return wrap32(value_of(a[0]) << (value_of(a[1]) & 31))
+    if op is Opcode.ASHR:
+        return wrap32(value_of(a[0]) >> (value_of(a[1]) & 31))
+    if op is Opcode.LSHR:
+        return wrap32((value_of(a[0]) & _UINT_MASK) >> (value_of(a[1]) & 31))
+    if op is Opcode.IMIN:
+        return min(value_of(a[0]), value_of(a[1]))
+    if op is Opcode.IMAX:
+        return max(value_of(a[0]), value_of(a[1]))
+    if op is Opcode.IABS:
+        return wrap32(abs(value_of(a[0])))
+
+    # Float arithmetic, rounded to binary32 after each op.
+    if op is Opcode.FADD:
+        return f32(value_of(a[0]) + value_of(a[1]))
+    if op is Opcode.FSUB:
+        return f32(value_of(a[0]) - value_of(a[1]))
+    if op is Opcode.FMUL:
+        return f32(value_of(a[0]) * value_of(a[1]))
+    if op is Opcode.FDIV:
+        y = value_of(a[1])
+        if y == 0.0:
+            return f32(math.inf if value_of(a[0]) > 0 else -math.inf) \
+                if value_of(a[0]) != 0 else f32(math.nan)
+        return f32(value_of(a[0]) / y)
+    if op is Opcode.FNEG:
+        return f32(-value_of(a[0]))
+    if op is Opcode.SQRT:
+        x = value_of(a[0])
+        return f32(math.nan) if x < 0 else f32(math.sqrt(x))
+    if op is Opcode.EXP:
+        try:
+            return f32(math.exp(value_of(a[0])))
+        except OverflowError:
+            return f32(math.inf)
+    if op is Opcode.LOG:
+        x = value_of(a[0])
+        if x < 0:
+            return f32(math.nan)
+        if x == 0:
+            return f32(-math.inf)
+        return f32(math.log(x))
+    if op is Opcode.SIN:
+        return f32(math.sin(value_of(a[0])))
+    if op is Opcode.COS:
+        return f32(math.cos(value_of(a[0])))
+    if op is Opcode.FABS:
+        return f32(abs(value_of(a[0])))
+    if op is Opcode.FLOOR:
+        return f32(math.floor(value_of(a[0])))
+    if op is Opcode.POW:
+        x, y = value_of(a[0]), value_of(a[1])
+        try:
+            return f32(math.pow(x, y))
+        except (ValueError, OverflowError):
+            return f32(math.nan)
+    if op is Opcode.FMIN:
+        return f32(min(value_of(a[0]), value_of(a[1])))
+    if op is Opcode.FMAX:
+        return f32(max(value_of(a[0]), value_of(a[1])))
+
+    # Comparisons / select / conversions.
+    if op is Opcode.ICMP or op is Opcode.FCMP:
+        x, y = value_of(a[0]), value_of(a[1])
+        pred = ins.attrs["pred"]
+        table = {
+            "eq": x == y, "ne": x != y, "slt": x < y, "sle": x <= y,
+            "sgt": x > y, "sge": x >= y,
+            "oeq": x == y, "one": x != y, "olt": x < y, "ole": x <= y,
+            "ogt": x > y, "oge": x >= y,
+        }
+        return bool(table[pred])
+    if op is Opcode.SELECT:
+        return value_of(a[1]) if bool(value_of(a[0])) else value_of(a[2])
+    if op is Opcode.SITOFP:
+        return f32(float(value_of(a[0])))
+    if op is Opcode.FPTOSI:
+        x = value_of(a[0])
+        if math.isnan(x):
+            return 0
+        return wrap32(int(math.trunc(x)))
+    if op is Opcode.ZEXT:
+        return 1 if value_of(a[0]) else 0
+
+    # Memory.
+    if op is Opcode.LOAD:
+        arr = value_of(a[0])
+        idx = _bounds(arr, value_of(a[1]), ins, kernel)
+        v = arr[idx]
+        return int(v) if arr.dtype == np.int32 else float(v)
+    if op is Opcode.STORE:
+        arr = value_of(a[0])
+        idx = _bounds(arr, value_of(a[1]), ins, kernel)
+        arr[idx] = _store_value(arr, value_of(a[2]))
+        return None
+    if op in (Opcode.ATOMIC_ADD, Opcode.ATOMIC_MIN, Opcode.ATOMIC_MAX,
+              Opcode.ATOMIC_XCHG):
+        arr = value_of(a[0])
+        idx = _bounds(arr, value_of(a[1]), ins, kernel)
+        old = int(arr[idx]) if arr.dtype == np.int32 else float(arr[idx])
+        val = value_of(a[2])
+        if op is Opcode.ATOMIC_ADD:
+            new = old + val
+        elif op is Opcode.ATOMIC_MIN:
+            new = min(old, val)
+        elif op is Opcode.ATOMIC_MAX:
+            new = max(old, val)
+        else:
+            new = val
+        arr[idx] = _store_value(arr, new)
+        return old
+    if op is Opcode.ATOMIC_CAS:
+        arr = value_of(a[0])
+        idx = _bounds(arr, value_of(a[1]), ins, kernel)
+        old = int(arr[idx]) if arr.dtype == np.int32 else float(arr[idx])
+        if old == value_of(a[2]):
+            arr[idx] = _store_value(arr, value_of(a[3]))
+        return old
+
+    # Work-item queries.
+    if op is Opcode.GID:
+        return item.gid[ins.attrs["dim"]]
+    if op is Opcode.LID:
+        return item.lid[ins.attrs["dim"]]
+    if op is Opcode.GROUP_ID:
+        return item.group[ins.attrs["dim"]]
+    if op is Opcode.LOCAL_SIZE:
+        return ndr.local_size[ins.attrs["dim"]]
+    if op is Opcode.GLOBAL_SIZE:
+        return ndr.global_size[ins.attrs["dim"]]
+    if op is Opcode.NUM_GROUPS:
+        return ndr.num_groups[ins.attrs["dim"]]
+
+    if op is Opcode.PRINTF:
+        vals = tuple(value_of(v) for v in a)
+        try:
+            text = ins.attrs["fmt"] % vals
+        except (TypeError, ValueError) as exc:
+            raise InterpreterError(
+                f"{kernel.name}: bad printf format {ins.attrs['fmt']!r}: {exc}"
+            ) from exc
+        result.printf_output.append(text)
+        return None
+
+    raise InterpreterError(f"interpreter cannot execute {op}")  # pragma: no cover

@@ -1,0 +1,12 @@
+"""Middle-end analyses and transforms shared by both backends.
+
+These stand in for the LLVM / PoCL passes of the paper's Figure 3 and
+Figure 5: CFG + dominators, liveness (register allocation), CSE (the O1
+"variable reuse" mechanism of Table II), DCE, divergence analysis (drives
+SPLIT/JOIN/PRED lowering), and loop analysis (pipeline cost model, PRED
+loops).
+"""
+
+from . import cfg, cse, dce, divergence, liveness, loops
+
+__all__ = ["cfg", "cse", "dce", "divergence", "liveness", "loops"]

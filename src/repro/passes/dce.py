@@ -1,0 +1,40 @@
+"""Dead code elimination.
+
+Removes value-producing instructions with no (transitive) uses and no side
+effects. Runs as a cleanup after CSE: the merged duplicates become dead.
+"""
+
+from __future__ import annotations
+
+from ..ocl.ir import Kernel, Opcode, iter_operands
+
+
+def run(kernel: Kernel) -> int:
+    """Remove dead instructions in place; returns the number removed."""
+    removed_total = 0
+    while True:
+        used: set[int] = set()
+        for ins in kernel.instructions():
+            for opnd in iter_operands(ins):
+                used.add(id(opnd))
+        removed = 0
+        for block in kernel.blocks:
+            keep = []
+            for ins in block.instrs:
+                dead = (
+                    ins.ty is not None
+                    and not ins.has_side_effects
+                    and ins.op not in (Opcode.ATOMIC_ADD, Opcode.ATOMIC_MIN,
+                                       Opcode.ATOMIC_MAX, Opcode.ATOMIC_XCHG,
+                                       Opcode.ATOMIC_CAS)
+                    and id(ins) not in used
+                )
+                if dead:
+                    removed += 1
+                    kernel.directives.pop(ins, None)
+                else:
+                    keep.append(ins)
+            block.instrs = keep
+        removed_total += removed
+        if removed == 0:
+            return removed_total

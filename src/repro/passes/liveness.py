@@ -1,0 +1,76 @@
+"""Backward liveness analysis.
+
+Computes per-block live-in/live-out sets, consumed by the Vortex register
+allocator to build live intervals. Phi semantics follow SSA convention:
+
+* a phi's incoming value is live-out of the corresponding predecessor
+  (the parallel copy happens on the edge);
+* a phi's result is *defined* at the head of its block (it is in the
+  block's def set, not in its live-in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ocl.ir import Const, Kernel, Opcode, Value
+
+
+def is_register_value(v: Value) -> bool:
+    """True for values that occupy a register: instruction results, params
+    and arrays (materialised by the codegen prologue) — not constants."""
+    return not isinstance(v, Const)
+
+
+@dataclass
+class Liveness:
+    live_in: dict[int, set[int]]  # block id -> value ids live at entry
+    live_out: dict[int, set[int]]  # block id -> value ids live at exit
+    uses: dict[int, set[int]]  # block id -> upward-exposed uses
+    defs: dict[int, set[int]]  # block id -> values defined in block
+
+
+def analyze(kernel: Kernel) -> Liveness:
+    blocks = kernel.blocks
+
+    uses: dict[int, set[int]] = {}
+    defs: dict[int, set[int]] = {}
+    phi_edge_uses: dict[int, set[int]] = {id(b): set() for b in blocks}
+
+    for block in blocks:
+        u: set[int] = set()
+        d: set[int] = set()
+        for ins in block.instrs:
+            if ins.op is Opcode.PHI:
+                d.add(id(ins))
+                for pred, val in ins.attrs["incomings"]:
+                    if is_register_value(val):
+                        phi_edge_uses[id(pred)].add(id(val))
+                continue
+            for opnd in ins.args:
+                if is_register_value(opnd) and id(opnd) not in d:
+                    u.add(id(opnd))
+            if ins.ty is not None:
+                d.add(id(ins))
+        uses[id(block)] = u
+        defs[id(block)] = d
+
+    live_in: dict[int, set[int]] = {id(b): set() for b in blocks}
+    live_out: dict[int, set[int]] = {id(b): set() for b in blocks}
+
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            bid = id(block)
+            out: set[int] = set(phi_edge_uses[bid])
+            for succ in block.successors:
+                out |= live_in[id(succ)]
+            new_in = uses[bid] | (out - defs[bid])
+            if out != live_out[bid]:
+                live_out[bid] = out
+                changed = True
+            if new_in != live_in[bid]:
+                live_in[bid] = new_in
+                changed = True
+    return Liveness(live_in, live_out, uses, defs)

@@ -1,0 +1,409 @@
+"""Vortex ISA: RV32IMF + A subset + SIMT control extensions.
+
+Vortex (§II-C of the paper) extends the RISC-V ISA with warp-control
+instructions for SIMT execution. We implement:
+
+* RV32I integer base (the subset a C-like kernel needs),
+* M (MUL/DIV/REM), F (single-precision float), A (AMO atomics, plus the
+  Zacas compare-and-swap),
+* the Vortex extensions in the custom-0 opcode space (0001011):
+
+  =========  ==============================================================
+  TMC rs1    set the warp's thread mask from a bitmask register
+  WSPAWN     activate ``rs1`` warps at PC ``rs2`` (used by dispatch tests)
+  SPLIT rs1  begin divergent region on per-lane predicate ``rs1``
+  JOIN       reconverge (pops the warp's IPDOM stack)
+  PRED       rs1 = per-lane continue predicate, rs2 = restore mask: keep
+             looping lanes active; when none remain, restore and skip the
+             next instruction (the loop back-jump)
+  BAR        rs1 = barrier id, rs2 = number of warps to rendezvous
+  HALT       retire the warp
+  PRINTFX    rs1 = format-string address, rs2 = packed-args address
+  =========  ==============================================================
+
+SPLIT/JOIN follow the paper's description: SPLIT pushes the not-taken
+side and the reconvergence state on the IPDOM stack, JOIN pops it —
+executing the taken path first, then the not-taken path, then
+reconverging (see :mod:`repro.vortex.simx.warp` for the stack machine).
+
+Every instruction encodes to a real 32-bit word (standard RISC-V
+formats); the assembler round-trips encode/decode in tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import CompilationError
+
+# ---------------------------------------------------------------------------
+# Register names.
+# ---------------------------------------------------------------------------
+
+XLEN = 32
+NUM_XREGS = 32
+NUM_FREGS = 32
+
+ZERO = 0  # x0: hardwired zero
+AT = 1  # x1: codegen temporary (ra is unused: kernels don't call)
+SP = 2  # x2: per-thread stack pointer
+AT2 = 3  # x3: second codegen temporary
+AT3 = 4  # x4: third codegen temporary (multi-step lowerings)
+#: x27 holds the wave base (wave index * T) in work-item-loop kernels.
+WAVE_REG = 27
+#: First/last integer registers available to the register allocator.
+#: x27 is the wave base; x28-x31 are the divergent-loop mask stack.
+X_ALLOC_FIRST, X_ALLOC_LAST = 5, 26
+LOOP_MASK_REGS = (28, 29, 30, 31)
+#: FP temporaries and allocatable range.
+FAT = 0  # f0: fp scratch
+FAT2 = 1  # f1: second fp scratch
+F_ALLOC_FIRST, F_ALLOC_LAST = 2, 31
+
+
+def xreg_name(i: int) -> str:
+    return f"x{i}"
+
+
+def freg_name(i: int) -> str:
+    return f"f{i}"
+
+
+# ---------------------------------------------------------------------------
+# CSRs (Vortex exposes SIMT geometry through CSRs).
+# ---------------------------------------------------------------------------
+
+
+class CSR(enum.IntEnum):
+    THREAD_ID = 0xCC0  # lane index within the warp
+    WARP_ID = 0xCC1  # warp index within the core
+    CORE_ID = 0xCC2  # core index
+    NUM_THREADS = 0xCC3  # threads per warp (T)
+    NUM_WARPS = 0xCC4  # warps per core (W)
+    NUM_CORES = 0xCC5  # cores (C)
+    TMASK = 0xCC6  # current thread mask (bitmask)
+    # Dispatch state, set per warp by the work-group dispatcher:
+    GROUP_ID0 = 0xCD0
+    GROUP_ID1 = 0xCD1
+    GROUP_ID2 = 0xCD2
+    LOCAL_OFFSET = 0xCD3  # linear local id of this warp's lane 0
+    GROUP_SLOT = 0xCD4  # per-core slot index (selects barrier id & local mem)
+    GROUP_WARPS = 0xCD5  # warps cooperating on this group (barrier count)
+    LOCAL_BASE = 0xCD6  # base address of this group's local-memory window
+
+
+# ---------------------------------------------------------------------------
+# Instruction table.
+# ---------------------------------------------------------------------------
+
+
+class Fmt(enum.Enum):
+    R = "R"
+    I = "I"
+    S = "S"
+    B = "B"
+    U = "U"
+    J = "J"
+    CSR = "CSR"
+    AMO = "AMO"
+
+
+@dataclass(frozen=True)
+class Spec:
+    fmt: Fmt
+    opcode: int
+    funct3: int = 0
+    funct7: int = 0
+
+
+_OP = 0b0110011
+_OP_IMM = 0b0010011
+_LOAD = 0b0000011
+_STORE = 0b0100011
+_BRANCH = 0b1100011
+_LUI = 0b0110111
+_AUIPC = 0b0010111
+_JAL = 0b1101111
+_JALR = 0b1100111
+_SYSTEM = 0b1110011
+_OP_FP = 0b1010011
+_LOAD_FP = 0b0000111
+_STORE_FP = 0b0100111
+_AMO = 0b0101111
+_CUSTOM0 = 0b0001011  # Vortex extensions
+
+SPECS: dict[str, Spec] = {
+    # RV32I
+    "lui": Spec(Fmt.U, _LUI),
+    "auipc": Spec(Fmt.U, _AUIPC),
+    "jal": Spec(Fmt.J, _JAL),
+    "jalr": Spec(Fmt.I, _JALR, 0),
+    "beq": Spec(Fmt.B, _BRANCH, 0),
+    "bne": Spec(Fmt.B, _BRANCH, 1),
+    "blt": Spec(Fmt.B, _BRANCH, 4),
+    "bge": Spec(Fmt.B, _BRANCH, 5),
+    "bltu": Spec(Fmt.B, _BRANCH, 6),
+    "bgeu": Spec(Fmt.B, _BRANCH, 7),
+    "lw": Spec(Fmt.I, _LOAD, 2),
+    "sw": Spec(Fmt.S, _STORE, 2),
+    "addi": Spec(Fmt.I, _OP_IMM, 0),
+    "slti": Spec(Fmt.I, _OP_IMM, 2),
+    "sltiu": Spec(Fmt.I, _OP_IMM, 3),
+    "xori": Spec(Fmt.I, _OP_IMM, 4),
+    "ori": Spec(Fmt.I, _OP_IMM, 6),
+    "andi": Spec(Fmt.I, _OP_IMM, 7),
+    "slli": Spec(Fmt.I, _OP_IMM, 1, 0b0000000),
+    "srli": Spec(Fmt.I, _OP_IMM, 5, 0b0000000),
+    "srai": Spec(Fmt.I, _OP_IMM, 5, 0b0100000),
+    "add": Spec(Fmt.R, _OP, 0, 0b0000000),
+    "sub": Spec(Fmt.R, _OP, 0, 0b0100000),
+    "sll": Spec(Fmt.R, _OP, 1, 0b0000000),
+    "slt": Spec(Fmt.R, _OP, 2, 0b0000000),
+    "sltu": Spec(Fmt.R, _OP, 3, 0b0000000),
+    "xor": Spec(Fmt.R, _OP, 4, 0b0000000),
+    "srl": Spec(Fmt.R, _OP, 5, 0b0000000),
+    "sra": Spec(Fmt.R, _OP, 5, 0b0100000),
+    "or": Spec(Fmt.R, _OP, 6, 0b0000000),
+    "and": Spec(Fmt.R, _OP, 7, 0b0000000),
+    # M
+    "mul": Spec(Fmt.R, _OP, 0, 0b0000001),
+    "mulh": Spec(Fmt.R, _OP, 1, 0b0000001),
+    "div": Spec(Fmt.R, _OP, 4, 0b0000001),
+    "rem": Spec(Fmt.R, _OP, 6, 0b0000001),
+    # F (single precision)
+    "flw": Spec(Fmt.I, _LOAD_FP, 2),
+    "fsw": Spec(Fmt.S, _STORE_FP, 2),
+    "fadd.s": Spec(Fmt.R, _OP_FP, 0, 0b0000000),
+    "fsub.s": Spec(Fmt.R, _OP_FP, 0, 0b0000100),
+    "fmul.s": Spec(Fmt.R, _OP_FP, 0, 0b0001000),
+    "fdiv.s": Spec(Fmt.R, _OP_FP, 0, 0b0001100),
+    "fsqrt.s": Spec(Fmt.R, _OP_FP, 0, 0b0101100),
+    "fmin.s": Spec(Fmt.R, _OP_FP, 0, 0b0010100),
+    "fmax.s": Spec(Fmt.R, _OP_FP, 1, 0b0010100),
+    "fsgnj.s": Spec(Fmt.R, _OP_FP, 0, 0b0010000),
+    "fsgnjn.s": Spec(Fmt.R, _OP_FP, 1, 0b0010000),
+    "fsgnjx.s": Spec(Fmt.R, _OP_FP, 2, 0b0010000),
+    "feq.s": Spec(Fmt.R, _OP_FP, 2, 0b1010000),
+    "flt.s": Spec(Fmt.R, _OP_FP, 1, 0b1010000),
+    "fle.s": Spec(Fmt.R, _OP_FP, 0, 0b1010000),
+    "fcvt.w.s": Spec(Fmt.R, _OP_FP, 1, 0b1100000),  # rm=rtz encoded in funct3
+    "fcvt.s.w": Spec(Fmt.R, _OP_FP, 7, 0b1101000),
+    "fmv.x.w": Spec(Fmt.R, _OP_FP, 0, 0b1110000),
+    "fmv.w.x": Spec(Fmt.R, _OP_FP, 0, 0b1111000),
+    # Extra float math (Vortex exposes these via its FPU; we model them as
+    # custom OP-FP encodings rather than libm calls).
+    "fexp.s": Spec(Fmt.R, _OP_FP, 0, 0b0110000),
+    "flog.s": Spec(Fmt.R, _OP_FP, 1, 0b0110000),
+    "fsin.s": Spec(Fmt.R, _OP_FP, 2, 0b0110000),
+    "fcos.s": Spec(Fmt.R, _OP_FP, 3, 0b0110000),
+    "ffloor.s": Spec(Fmt.R, _OP_FP, 4, 0b0110000),
+    "fpow.s": Spec(Fmt.R, _OP_FP, 5, 0b0110000),
+    # A (atomics; aq/rl bits left zero)
+    "amoadd.w": Spec(Fmt.AMO, _AMO, 2, 0b0000000),
+    "amoswap.w": Spec(Fmt.AMO, _AMO, 2, 0b0000100),
+    "amomin.w": Spec(Fmt.AMO, _AMO, 2, 0b1000000),
+    "amomax.w": Spec(Fmt.AMO, _AMO, 2, 0b1010000),
+    "amocas.w": Spec(Fmt.AMO, _AMO, 2, 0b0010100),  # Zacas: rd=expected/old
+    # CSR
+    "csrrs": Spec(Fmt.CSR, _SYSTEM, 2),
+    # Vortex SIMT extensions (custom-0).
+    "tmc": Spec(Fmt.R, _CUSTOM0, 0, 0),
+    "wspawn": Spec(Fmt.R, _CUSTOM0, 0, 1),
+    "split": Spec(Fmt.R, _CUSTOM0, 0, 2),
+    "join": Spec(Fmt.R, _CUSTOM0, 0, 3),
+    "bar": Spec(Fmt.R, _CUSTOM0, 0, 4),
+    "pred": Spec(Fmt.R, _CUSTOM0, 0, 5),
+    "halt": Spec(Fmt.R, _CUSTOM0, 0, 6),
+    "printfx": Spec(Fmt.R, _CUSTOM0, 0, 7),
+}
+
+#: Mnemonics whose rd/rs registers address the FP register file.
+FP_RD = {m for m in SPECS if m.startswith("f") and m not in
+         ("fmv.x.w", "fcvt.w.s", "feq.s", "flt.s", "fle.s")} - {"fsw"}
+FP_RS1 = {m for m in SPECS if m.startswith("f")} - {
+    "flw", "fsw", "fmv.w.x", "fcvt.s.w"}
+FP_RS2 = {"fadd.s", "fsub.s", "fmul.s", "fdiv.s", "fmin.s", "fmax.s",
+          "fsgnj.s", "fsgnjn.s", "fsgnjx.s", "feq.s", "flt.s", "fle.s",
+          "fpow.s", "fsw"}
+
+#: Vortex custom mnemonics.
+SIMT_OPS = {"tmc", "wspawn", "split", "join", "bar", "pred", "halt", "printfx"}
+
+
+@dataclass
+class Instruction:
+    """One decoded instruction. ``imm`` holds the sign-extended immediate
+    (branch/jump offsets in bytes, relative to this instruction)."""
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    #: Source label for branches/jumps (assembler fills imm from it).
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.mnemonic not in SPECS:
+            raise CompilationError(f"unknown mnemonic {self.mnemonic!r}")
+
+    @property
+    def spec(self) -> Spec:
+        return SPECS[self.mnemonic]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{format_instruction(self)}>"
+
+
+def _sext(value: int, bits: int) -> int:
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def encode(ins: Instruction) -> int:
+    """Encode to a 32-bit word (standard RISC-V formats)."""
+    spec = ins.spec
+    op, f3, f7 = spec.opcode, spec.funct3, spec.funct7
+    rd, rs1, rs2, imm = ins.rd & 31, ins.rs1 & 31, ins.rs2 & 31, ins.imm
+
+    if spec.fmt is Fmt.R:
+        return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op
+    if spec.fmt is Fmt.AMO:
+        return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op
+    if spec.fmt is Fmt.I:
+        i = imm & 0xFFF
+        if ins.mnemonic in ("slli", "srli", "srai"):
+            i = (f7 << 5) | (imm & 31)
+        return (i << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op
+    if spec.fmt is Fmt.CSR:
+        return ((imm & 0xFFF) << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op
+    if spec.fmt is Fmt.S:
+        i = imm & 0xFFF
+        return (
+            ((i >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12)
+            | ((i & 31) << 7) | op
+        )
+    if spec.fmt is Fmt.B:
+        i = imm & 0x1FFF
+        b12 = (i >> 12) & 1
+        b11 = (i >> 11) & 1
+        b10_5 = (i >> 5) & 0x3F
+        b4_1 = (i >> 1) & 0xF
+        return (
+            (b12 << 31) | (b10_5 << 25) | (rs2 << 20) | (rs1 << 15)
+            | (f3 << 12) | (b4_1 << 8) | (b11 << 7) | op
+        )
+    if spec.fmt is Fmt.U:
+        return ((imm & 0xFFFFF) << 12) | (rd << 7) | op
+    if spec.fmt is Fmt.J:
+        i = imm & 0x1FFFFF
+        b20 = (i >> 20) & 1
+        b19_12 = (i >> 12) & 0xFF
+        b11 = (i >> 11) & 1
+        b10_1 = (i >> 1) & 0x3FF
+        return (
+            (b20 << 31) | (b10_1 << 21) | (b11 << 20) | (b19_12 << 12)
+            | (rd << 7) | op
+        )
+    raise CompilationError(f"cannot encode {ins.mnemonic}")  # pragma: no cover
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word back into an :class:`Instruction`."""
+    op = word & 0x7F
+    rd = (word >> 7) & 31
+    f3 = (word >> 12) & 7
+    rs1 = (word >> 15) & 31
+    rs2 = (word >> 20) & 31
+    f7 = (word >> 25) & 0x7F
+
+    def find(fmt_set, *, use_f7: bool) -> str:
+        for name, spec in SPECS.items():
+            if spec.opcode != op or spec.fmt not in fmt_set:
+                continue
+            if spec.fmt in (Fmt.U, Fmt.J):
+                return name
+            if spec.funct3 != f3:
+                continue
+            if use_f7 and spec.funct7 != f7:
+                continue
+            return name
+        raise CompilationError(f"cannot decode word {word:#010x}")
+
+    if op in (_LUI, _AUIPC):
+        name = find({Fmt.U}, use_f7=False)
+        return Instruction(name, rd=rd, imm=_sext(word >> 12, 20))
+    if op == _JAL:
+        i = (
+            (((word >> 31) & 1) << 20)
+            | (((word >> 12) & 0xFF) << 12)
+            | (((word >> 20) & 1) << 11)
+            | (((word >> 21) & 0x3FF) << 1)
+        )
+        return Instruction("jal", rd=rd, imm=_sext(i, 21))
+    if op == _BRANCH:
+        name = find({Fmt.B}, use_f7=False)
+        i = (
+            (((word >> 31) & 1) << 12)
+            | (((word >> 7) & 1) << 11)
+            | (((word >> 25) & 0x3F) << 5)
+            | (((word >> 8) & 0xF) << 1)
+        )
+        return Instruction(name, rs1=rs1, rs2=rs2, imm=_sext(i, 13))
+    if op == _STORE or op == _STORE_FP:
+        name = find({Fmt.S}, use_f7=False)
+        i = ((word >> 25) << 5) | ((word >> 7) & 31)
+        return Instruction(name, rs1=rs1, rs2=rs2, imm=_sext(i, 12))
+    if op == _SYSTEM:
+        name = find({Fmt.CSR}, use_f7=False)
+        return Instruction(name, rd=rd, rs1=rs1, imm=(word >> 20) & 0xFFF)
+    if op in (_LOAD, _LOAD_FP, _JALR, _OP_IMM):
+        # Shifts carry funct7 in the immediate field.
+        if op == _OP_IMM and f3 in (1, 5):
+            name = find({Fmt.I}, use_f7=True)
+            return Instruction(name, rd=rd, rs1=rs1, imm=rs2)
+        name = find({Fmt.I}, use_f7=False)
+        return Instruction(name, rd=rd, rs1=rs1, imm=_sext(word >> 20, 12))
+    if op in (_OP, _OP_FP, _CUSTOM0):
+        name = find({Fmt.R}, use_f7=True)
+        return Instruction(name, rd=rd, rs1=rs1, rs2=rs2)
+    if op == _AMO:
+        name = find({Fmt.AMO}, use_f7=True)
+        return Instruction(name, rd=rd, rs1=rs1, rs2=rs2)
+    raise CompilationError(f"cannot decode word {word:#010x}")
+
+
+def format_instruction(ins: Instruction) -> str:
+    """Disassemble one instruction to text."""
+    m = ins.mnemonic
+    spec = ins.spec
+    rd = freg_name(ins.rd) if m in FP_RD else xreg_name(ins.rd)
+    rs1 = freg_name(ins.rs1) if m in FP_RS1 else xreg_name(ins.rs1)
+    rs2 = freg_name(ins.rs2) if m in FP_RS2 else xreg_name(ins.rs2)
+    if m in ("lw", "flw", "jalr"):
+        return f"{m} {rd}, {ins.imm}({rs1})"
+    if m in ("sw", "fsw"):
+        return f"{m} {rs2}, {ins.imm}({rs1})"
+    if spec.fmt is Fmt.B:
+        tgt = ins.label or f"pc{ins.imm:+d}"
+        return f"{m} {rs1}, {rs2}, {tgt}"
+    if m == "jal":
+        tgt = ins.label or f"pc{ins.imm:+d}"
+        return f"{m} {rd}, {tgt}"
+    if spec.fmt is Fmt.U:
+        return f"{m} {rd}, {ins.imm:#x}"
+    if spec.fmt is Fmt.CSR:
+        return f"{m} {rd}, {ins.imm:#x}, {rs1}"
+    if spec.fmt is Fmt.I:
+        return f"{m} {rd}, {rs1}, {ins.imm}"
+    if m in ("join", "halt"):
+        return m
+    if m in ("tmc", "split"):
+        return f"{m} {rs1}"
+    if spec.fmt in (Fmt.R, Fmt.AMO):
+        return f"{m} {rd}, {rs1}, {rs2}"
+    return m  # pragma: no cover

@@ -1,0 +1,28 @@
+"""SimX: the cycle-level simulator of the Vortex soft GPU.
+
+The paper's §IV-A describes SimX as Vortex's C++ cycle-level simulator
+(within 6% of the RTL) used to explore hardware configurations quickly —
+this package is our Python equivalent, executing real encoded kernels
+over configurable (cores, warps, threads) geometries with a warp
+scheduler, scoreboard, LSU, per-core D-cache, and a shared open-row DRAM
+model.
+"""
+
+from .config import DDR4_DRAM, DRAMConfig, HBM2_DRAM, VortexConfig
+from .core import Core, CoreStats
+from .machine import LaunchResult, Machine
+from .mem import Memory
+from .warp import Warp
+
+__all__ = [
+    "Core",
+    "CoreStats",
+    "DDR4_DRAM",
+    "DRAMConfig",
+    "HBM2_DRAM",
+    "LaunchResult",
+    "Machine",
+    "Memory",
+    "VortexConfig",
+    "Warp",
+]

@@ -1,0 +1,63 @@
+"""Set-associative write-through data cache (per core).
+
+The LSU consults the cache per line: a hit costs the cache hit latency,
+a miss goes to DRAM and fills the line (no-allocate on stores would be
+an option; Vortex's cache allocates on both, which we follow). LRU
+replacement via per-way timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class Cache:
+    def __init__(self, size: int, ways: int, line_size: int):
+        self.line_size = line_size
+        self.ways = ways
+        self.sets = size // (ways * line_size)
+        self.tags = np.full((self.sets, ways), -1, dtype=np.int64)
+        self.lru = np.zeros((self.sets, ways), dtype=np.int64)
+        self._tick = 0
+        self.stats = CacheStats()
+
+    def lookup(self, line_addr: int) -> bool:
+        """True on hit; updates LRU. Does not fill."""
+        line = line_addr // self.line_size
+        set_idx = line % self.sets
+        tag = line // self.sets
+        self._tick += 1
+        ways = self.tags[set_idx]
+        hit = np.nonzero(ways == tag)[0]
+        if len(hit):
+            self.lru[set_idx, hit[0]] = self._tick
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, line_addr: int) -> None:
+        line = line_addr // self.line_size
+        set_idx = line % self.sets
+        tag = line // self.sets
+        self._tick += 1
+        victim = int(np.argmin(self.lru[set_idx]))
+        self.tags[set_idx, victim] = tag
+        self.lru[set_idx, victim] = self._tick
+
+    def invalidate_all(self) -> None:
+        self.tags.fill(-1)
+        self.lru.fill(0)

@@ -1,0 +1,130 @@
+"""Configuration of the simulated Vortex device.
+
+``VortexConfig`` is the (C, W, T) tuple of the paper's Tables IV and
+Figure 7 plus the microarchitectural knobs of the memory system. The
+defaults model the SX2800 platform (DDR4) the paper synthesized Vortex
+on; ``hbm()`` gives an MX2100-like profile for the memory-system
+ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ...errors import SimulationError
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Open-row DRAM timing model (cycles at the core clock)."""
+
+    kind: str = "ddr4"
+    #: pipeline latency from LSU to DRAM and back (fixed part).
+    latency: int = 60
+    #: independent banks (line address interleaved).
+    banks: int = 4
+    #: service cycles per 64B line when the bank row is open.
+    row_hit_cycles: int = 4
+    #: service cycles per line on a row conflict (precharge+activate).
+    row_miss_cycles: int = 36
+    #: lines per DRAM row (row size / line size).
+    lines_per_row: int = 16
+    #: open rows tracked per bank (controller reorder window).
+    open_rows: int = 4
+
+
+DDR4_DRAM = DRAMConfig()
+HBM2_DRAM = DRAMConfig(
+    kind="hbm2", latency=72, banks=16, row_hit_cycles=2,
+    row_miss_cycles=20, lines_per_row=16, open_rows=4,
+)
+
+
+@dataclass(frozen=True)
+class VortexConfig:
+    """One Vortex hardware configuration."""
+
+    cores: int = 4
+    warps: int = 8  # warps per core (W)
+    threads: int = 8  # threads per warp (T)
+
+    #: execute-stage lane width: a warp instruction with more active
+    #: threads than lanes issues in multiple beats, occupying the issue
+    #: slot for ceil(T / issue_lanes) cycles (the register file and
+    #: datapath are banked 4 lanes wide on the FPGA; threads beyond the
+    #: lane width buy latency hiding, not raw issue throughput).
+    issue_lanes: int = 4
+
+    # Pipeline latencies (result availability, cycles).
+    alu_latency: int = 1
+    mul_latency: int = 3
+    div_latency: int = 16
+    fpu_latency: int = 4
+    fdiv_latency: int = 16
+    sfu_latency: int = 24  # exp/log/sin/cos/pow
+    csr_latency: int = 1
+
+    # LSU.
+    lsu_queue_depth: int = 8  # in-flight memory instructions per core
+    lsu_lanes_per_cycle: int = 4  # lane requests unpacked per cycle
+    dcache_hit_latency: int = 4
+    #: miss-status holding registers per core. Entries are *per lane
+    #: request* (merging lanes onto one line entry needs expensive CAM
+    #: hardware a small FPGA cache does not have), so a T-wide load that
+    #: misses occupies T entries until the fill returns: wide-thread
+    #: configurations exhaust the MSHRs quickly, throttling concurrent
+    #: line fetches and bouncing further loads — the LSU stalls the paper
+    #: reports growing "with a higher number of threads and warps per
+    #: core" (§III-C).
+    mshrs: int = 20
+    #: cycles before a replayed memory instruction may retry.
+    replay_penalty: int = 2
+    #: write-combining buffer entries (lines) per core: write-through
+    #: stores to a recently-written line merge instead of paying DRAM
+    #: bandwidth again (partial-line stores would otherwise multiply
+    #: store traffic at small thread counts).
+    wc_entries: int = 16
+
+    # D-cache (per core).
+    dcache_size: int = 16 * 1024
+    dcache_ways: int = 4
+    line_size: int = 64
+
+    #: work-group partitioning: True = vx_spawn-style static chunks (each
+    #: warp slot owns a contiguous group range), False = interleaved
+    #: round-robin hand-out. Ablation knob for §IV-A challenge 4 (work
+    #: distribution strategies).
+    chunked_dispatch: bool = True
+
+    dram: DRAMConfig = field(default_factory=lambda: DDR4_DRAM)
+
+    #: core clock used when converting cycles to time.
+    clock_mhz: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.threads < 1 or self.threads > 32:
+            raise SimulationError("threads per warp must be 1..32")
+        if self.warps < 1 or self.cores < 1:
+            raise SimulationError("warps and cores must be positive")
+        if self.line_size % 4 or self.dcache_size % (
+            self.line_size * self.dcache_ways
+        ):
+            raise SimulationError("bad cache geometry")
+
+    @property
+    def total_threads(self) -> int:
+        return self.cores * self.warps * self.threads
+
+    def with_geometry(self, cores=None, warps=None, threads=None) -> "VortexConfig":
+        return replace(
+            self,
+            cores=self.cores if cores is None else cores,
+            warps=self.warps if warps is None else warps,
+            threads=self.threads if threads is None else threads,
+        )
+
+    def hbm(self) -> "VortexConfig":
+        return replace(self, dram=HBM2_DRAM)
+
+    def label(self) -> str:
+        return f"{self.cores}c{self.warps}w{self.threads}t"

@@ -1,0 +1,856 @@
+"""One SIMT core: warp scheduler, execution units, LSU, D-cache.
+
+The core issues at most one warp-instruction per cycle (Vortex is a
+single-issue in-order design). A warp is *ready* when it is active, not
+parked at a barrier, past its structural ``ready_at`` time, and all its
+source registers are available per the scoreboard. Memory instructions
+additionally need a free LSU queue entry and the LSU lane-sequencer to be
+free; when the selected warp is blocked on the LSU, the core records an
+**LSU stall** — the counter behind the paper's Figure 7 discussion.
+
+Execution is functional-at-issue (register values are computed
+immediately, numpy-vectorised across lanes) with timing imposed through
+the scoreboard (result-availability cycles) and the LSU/DRAM models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import SimulationError, TrapError
+from ..isa import CSR, FP_RD, FP_RS1, FP_RS2, Fmt, Instruction, SPECS
+from .cache import Cache
+from .config import VortexConfig
+from .warp import BLOCKED, Warp
+
+_INT32_MIN = np.int32(-(2**31))
+
+
+def _i32(value: int) -> np.int32:
+    """Wrap a Python int to signed 32-bit."""
+    value &= 0xFFFFFFFF
+    if value >= 2**31:
+        value -= 2**32
+    return np.int32(value)
+
+
+@dataclass
+class InstrMeta:
+    """Pre-decoded issue metadata for one instruction."""
+
+    srcs_x: tuple[int, ...] = ()
+    srcs_f: tuple[int, ...] = ()
+    dst: tuple[str, int] | None = None
+    is_mem: bool = False
+    kind: str = "alu"  # alu|mul|div|fpu|fdiv|sfu|mem|csr|simt
+
+
+_MUL_OPS = {"mul", "mulh"}
+_DIV_OPS = {"div", "rem"}
+_FPU_OPS = {
+    "fadd.s", "fsub.s", "fmul.s", "fmin.s", "fmax.s", "fsgnj.s", "fsgnjn.s",
+    "fsgnjx.s", "feq.s", "flt.s", "fle.s", "fcvt.w.s", "fcvt.s.w",
+    "fmv.x.w", "fmv.w.x",
+}
+_FDIV_OPS = {"fdiv.s", "fsqrt.s"}
+_SFU_OPS = {"fexp.s", "flog.s", "fsin.s", "fcos.s", "ffloor.s", "fpow.s"}
+_MEM_OPS = {"lw", "sw", "flw", "fsw",
+            "amoadd.w", "amoswap.w", "amomin.w", "amomax.w", "amocas.w"}
+_SIMT_OPS = {"tmc", "wspawn", "split", "join", "bar", "pred", "halt",
+             "printfx"}
+
+
+def instr_meta(ins: Instruction) -> InstrMeta:
+    m = ins.mnemonic
+    spec = SPECS[m]
+    srcs_x: list[int] = []
+    srcs_f: list[int] = []
+    if spec.fmt in (Fmt.R, Fmt.I, Fmt.S, Fmt.B, Fmt.AMO, Fmt.CSR):
+        (srcs_f if m in FP_RS1 else srcs_x).append(ins.rs1)
+    if spec.fmt in (Fmt.R, Fmt.S, Fmt.B, Fmt.AMO):
+        (srcs_f if m in FP_RS2 else srcs_x).append(ins.rs2)
+    if m == "amocas.w":
+        srcs_x.append(ins.rd)  # rd carries the expected value
+    dst: tuple[str, int] | None = None
+    if spec.fmt in (Fmt.R, Fmt.I, Fmt.U, Fmt.J, Fmt.CSR, Fmt.AMO) and \
+            m not in ("sw", "fsw") and m not in _SIMT_OPS:
+        if m in FP_RD:
+            dst = ("f", ins.rd)
+        elif ins.rd != 0:
+            dst = ("x", ins.rd)
+    if m in _MUL_OPS:
+        kind = "mul"
+    elif m in _DIV_OPS:
+        kind = "div"
+    elif m in _FPU_OPS:
+        kind = "fpu"
+    elif m in _FDIV_OPS:
+        kind = "fdiv"
+    elif m in _SFU_OPS:
+        kind = "sfu"
+    elif m in _MEM_OPS:
+        kind = "mem"
+    elif m == "csrrs":
+        kind = "csr"
+    elif m in _SIMT_OPS:
+        kind = "simt"
+    else:
+        kind = "alu"
+    return InstrMeta(
+        srcs_x=tuple(srcs_x),
+        srcs_f=tuple(srcs_f),
+        dst=dst,
+        is_mem=kind == "mem",
+        kind=kind,
+    )
+
+
+@dataclass
+class CoreStats:
+    instructions: int = 0
+    cycles_active: int = 0
+    idle_cycles: int = 0
+    lsu_stalls: int = 0
+    lsu_replays: int = 0  # loads bounced off full MSHRs (wasted slots)
+    scoreboard_stalls: int = 0
+    barrier_waits: int = 0
+    simt_instructions: int = 0
+
+
+class Core:
+    def __init__(self, cid: int, config: VortexConfig, machine: "object"):
+        self.cid = cid
+        self.config = config
+        self.machine = machine
+        self.warps = [Warp(w, config.threads) for w in range(config.warps)]
+        self.dcache = Cache(config.dcache_size, config.dcache_ways,
+                            config.line_size)
+        self.lsu_inflight: list[int] = []
+        self.lsu_busy_until = 0
+        #: outstanding missed lines: line address -> fill-completion cycle
+        #: (DRAM fetches merge per line).
+        self.mshrs: dict[int, int] = {}
+        #: per-lane MSHR occupancy: (release_cycle, entries).
+        self.mshr_entries: list[tuple[int, int]] = []
+        #: write-combining buffer: line -> insertion order stamp.
+        self.wc_buffer: dict[int, int] = {}
+        self._wc_stamp = 0
+        #: multi-beat issue: the issue stage is busy until this cycle.
+        self.issue_busy_until = 0
+        self._issue_beats = max(
+            1, -(-config.threads // config.issue_lanes)
+        )
+        self.rr = 0
+        self.stats = CoreStats()
+        #: barrier slot -> list of waiting warp indices.
+        self.barriers: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Issue.
+    # ------------------------------------------------------------------
+
+    def tick(self, now: int) -> bool:
+        self.lsu_inflight = [t for t in self.lsu_inflight if t > now]
+        if self.mshrs:
+            self.mshrs = {ln: t for ln, t in self.mshrs.items() if t > now}
+        if self.mshr_entries:
+            self.mshr_entries = [(t, n) for t, n in self.mshr_entries
+                                 if t > now]
+        cfg = self.config
+        if now < self.issue_busy_until:
+            # A previous multi-beat instruction still occupies the
+            # issue stage.
+            self.stats.cycles_active += 1
+            return True
+        nw = len(self.warps)
+        issued = False
+        saw_lsu_block = False
+        saw_scoreboard_block = False
+        for k in range(nw):
+            idx = (self.rr + 1 + k) % nw
+            warp = self.warps[idx]
+            if not warp.active or warp.at_barrier or warp.ready_at > now:
+                continue
+            ins, meta = self.machine.fetch(warp.pc)
+            if not self._sources_ready(warp, meta, now):
+                saw_scoreboard_block = True
+                continue
+            if meta.is_mem and (
+                len(self.lsu_inflight) >= cfg.lsu_queue_depth
+                or self.lsu_busy_until > now
+            ):
+                saw_lsu_block = True
+                continue
+            if self.machine.trace is not None:
+                from ..isa import format_instruction
+
+                self.machine.trace.append(
+                    (now, self.cid, warp.wid, warp.pc,
+                     format_instruction(ins), warp.tmask_bits())
+                )
+            self._execute(warp, ins, meta, now)
+            self.issue_busy_until = now + self._issue_beats
+            self.rr = idx
+            self.stats.instructions += 1
+            if meta.kind == "simt":
+                self.stats.simt_instructions += 1
+            issued = True
+            break
+        if issued:
+            self.stats.cycles_active += 1
+        else:
+            self.stats.idle_cycles += 1
+            if saw_lsu_block:
+                self.stats.lsu_stalls += 1
+            elif saw_scoreboard_block:
+                self.stats.scoreboard_stalls += 1
+        return issued
+
+    def _sources_ready(self, warp: Warp, meta: InstrMeta, now: int) -> bool:
+        for r in meta.srcs_x:
+            if warp.x_ready[r] > now:
+                return False
+        for r in meta.srcs_f:
+            if warp.f_ready[r] > now:
+                return False
+        return True
+
+    def next_event_time(self, now: int) -> int:
+        """Earliest future cycle at which this core might make progress."""
+        best = BLOCKED
+        for warp in self.warps:
+            if not warp.active or warp.at_barrier:
+                continue
+            t = warp.ready_at
+            _, meta = self.machine.fetch(warp.pc)
+            for r in meta.srcs_x:
+                t = max(t, int(warp.x_ready[r]))
+            for r in meta.srcs_f:
+                t = max(t, int(warp.f_ready[r]))
+            if meta.is_mem:
+                if len(self.lsu_inflight) >= self.config.lsu_queue_depth:
+                    t = max(t, min(self.lsu_inflight))
+                t = max(t, self.lsu_busy_until)
+            best = min(best, t)
+        return best
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+
+    def _writeback(self, warp: Warp, meta: InstrMeta, now: int,
+                   latency: int) -> None:
+        if meta.dst is None:
+            return
+        cls, reg = meta.dst
+        if cls == "x":
+            warp.x_ready[reg] = now + latency
+        else:
+            warp.f_ready[reg] = now + latency
+
+    def _execute(self, warp: Warp, ins: Instruction, meta: InstrMeta,
+                 now: int) -> None:
+        cfg = self.config
+        m = ins.mnemonic
+        warp.ready_at = now + self._issue_beats
+        latency = {
+            "alu": cfg.alu_latency,
+            "mul": cfg.mul_latency,
+            "div": cfg.div_latency,
+            "fpu": cfg.fpu_latency,
+            "fdiv": cfg.fdiv_latency,
+            "sfu": cfg.sfu_latency,
+            "csr": cfg.csr_latency,
+            "simt": cfg.alu_latency,
+            "mem": 0,  # computed by the LSU path
+        }[meta.kind]
+
+        if meta.kind == "mem":
+            self._execute_mem(warp, ins, meta, now)
+            return
+        if meta.kind == "simt":
+            self._execute_simt(warp, ins, now)
+            return
+
+        x, f, mask = warp.x, warp.f, warp.tmask
+        advance = True
+        with np.errstate(all="ignore"):
+            if m in ("add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra",
+                     "or", "and", "mul", "mulh", "div", "rem"):
+                a, b = x[ins.rs1], x[ins.rs2]
+                res = _int_binop(m, a, b)
+                _masked_set(x, ins.rd, res, mask)
+            elif m in ("addi", "slti", "sltiu", "xori", "ori", "andi",
+                       "slli", "srli", "srai"):
+                a = x[ins.rs1]
+                res = _int_immop(m, a, ins.imm)
+                _masked_set(x, ins.rd, res, mask)
+            elif m == "lui":
+                _masked_set(x, ins.rd,
+                            np.full_like(x[0], _i32(ins.imm << 12)), mask)
+            elif m == "auipc":
+                _masked_set(x, ins.rd,
+                            np.full_like(x[0],
+                                         _i32(warp.pc + (ins.imm << 12))),
+                            mask)
+            elif m == "jal":
+                _masked_set(x, ins.rd, np.full_like(x[0],
+                                                    np.int32(warp.pc + 4)),
+                            mask)
+                warp.pc += ins.imm
+                advance = False
+            elif m == "jalr":
+                target = self._uniform_value(warp, x[ins.rs1] + ins.imm)
+                _masked_set(x, ins.rd, np.full_like(x[0],
+                                                    np.int32(warp.pc + 4)),
+                            mask)
+                warp.pc = int(target) & ~1
+                advance = False
+            elif m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+                taken = self._branch_taken(warp, ins)
+                if taken:
+                    warp.pc += ins.imm
+                    advance = False
+            elif m == "csrrs":
+                val = self._read_csr(warp, ins.imm)
+                _masked_set(x, ins.rd, val, mask)
+            elif m in ("fadd.s", "fsub.s", "fmul.s", "fdiv.s", "fmin.s",
+                       "fmax.s", "fpow.s"):
+                a, b = f[ins.rs1], f[ins.rs2]
+                res = _float_binop(m, a, b)
+                _masked_setf(f, ins.rd, res, mask)
+            elif m in ("fsqrt.s", "fexp.s", "flog.s", "fsin.s", "fcos.s",
+                       "ffloor.s"):
+                res = _float_unop(m, f[ins.rs1])
+                _masked_setf(f, ins.rd, res, mask)
+            elif m in ("fsgnj.s", "fsgnjn.s", "fsgnjx.s"):
+                res = _float_sgnj(m, f[ins.rs1], f[ins.rs2])
+                _masked_setf(f, ins.rd, res, mask)
+            elif m in ("feq.s", "flt.s", "fle.s"):
+                a, b = f[ins.rs1], f[ins.rs2]
+                res = {"feq.s": a == b, "flt.s": a < b, "fle.s": a <= b}[m]
+                _masked_set(x, ins.rd, res.astype(np.int32), mask)
+            elif m == "fcvt.w.s":
+                v = f[ins.rs1].astype(np.float64)
+                v = np.where(np.isnan(v), 0.0, v)
+                res = np.trunc(v).astype(np.int64).astype(np.int32)
+                _masked_set(x, ins.rd, res, mask)
+            elif m == "fcvt.s.w":
+                _masked_setf(f, ins.rd, x[ins.rs1].astype(np.float32), mask)
+            elif m == "fmv.x.w":
+                _masked_set(x, ins.rd, f[ins.rs1].view(np.int32), mask)
+            elif m == "fmv.w.x":
+                _masked_setf(f, ins.rd, x[ins.rs1].view(np.float32), mask)
+            else:  # pragma: no cover - closed mnemonic set
+                raise SimulationError(f"cannot execute {m}")
+        if advance:
+            warp.pc += 4
+        warp.x[0] = 0
+        self._writeback(warp, meta, now, latency)
+
+    # -- branches and CSRs -------------------------------------------------
+
+    def _branch_taken(self, warp: Warp, ins: Instruction) -> bool:
+        a = warp.x[ins.rs1]
+        b = warp.x[ins.rs2]
+        m = ins.mnemonic
+        if m == "beq":
+            cond = a == b
+        elif m == "bne":
+            cond = a != b
+        elif m == "blt":
+            cond = a < b
+        elif m == "bge":
+            cond = a >= b
+        elif m == "bltu":
+            cond = a.view(np.uint32) < b.view(np.uint32)
+        else:
+            cond = a.view(np.uint32) >= b.view(np.uint32)
+        active = cond[warp.tmask]
+        if len(active) == 0:
+            raise SimulationError(
+                f"core {self.cid} warp {warp.wid}: branch with empty mask "
+                f"at pc {warp.pc:#x}"
+            )
+        if active.all():
+            return True
+        if not active.any():
+            return False
+        raise SimulationError(
+            f"core {self.cid} warp {warp.wid}: divergent branch executed "
+            f"without SPLIT at pc {warp.pc:#x} (miscompiled kernel)"
+        )
+
+    def _uniform_value(self, warp: Warp, values: np.ndarray) -> int:
+        active = values[warp.tmask]
+        if len(active) and not (active == active[0]).all():
+            raise SimulationError(
+                f"warp {warp.wid}: non-uniform value where uniform required "
+                f"at pc {warp.pc:#x}"
+            )
+        return int(active[0])
+
+    def _read_csr(self, warp: Warp, csr: int) -> np.ndarray:
+        T = self.config.threads
+        if csr == CSR.THREAD_ID:
+            return np.arange(T, dtype=np.int32)
+        if csr == CSR.WARP_ID:
+            return np.full(T, warp.wid, dtype=np.int32)
+        if csr == CSR.CORE_ID:
+            return np.full(T, self.cid, dtype=np.int32)
+        if csr == CSR.NUM_THREADS:
+            return np.full(T, T, dtype=np.int32)
+        if csr == CSR.NUM_WARPS:
+            return np.full(T, self.config.warps, dtype=np.int32)
+        if csr == CSR.NUM_CORES:
+            return np.full(T, self.config.cores, dtype=np.int32)
+        if csr == CSR.TMASK:
+            return np.full(T, warp.tmask_bits(), dtype=np.int32)
+        if csr in warp.csrs:
+            return np.full(T, warp.csrs[csr], dtype=np.int32)
+        raise TrapError(f"read of unknown CSR {csr:#x}")
+
+    # -- memory --------------------------------------------------------------
+
+    def _execute_mem(self, warp: Warp, ins: Instruction, meta: InstrMeta,
+                     now: int) -> None:
+        cfg = self.config
+        m = ins.mnemonic
+        mem = self.machine.memory
+        mask = warp.tmask
+        lanes = int(mask.sum())
+        base = warp.x[ins.rs1].astype(np.int64)
+
+        if m in ("lw", "flw"):
+            addrs = base + ins.imm
+            active_addrs = addrs[mask]
+            timing = self._lsu_load_timing(active_addrs, lanes, now)
+            if timing is None:
+                # All MSHRs busy: the load is replayed later; this issue
+                # slot is wasted (an LSU stall in the paper's terms).
+                warp.ready_at = now + cfg.replay_penalty
+                self.stats.lsu_replays += 1
+                return
+            completion = timing
+            if m == "lw":
+                vals = np.zeros_like(warp.x[0])
+                vals[mask] = mem.gather_i32(active_addrs)
+                _masked_set(warp.x, ins.rd, vals, mask)
+            else:
+                vals = np.zeros_like(warp.f[0])
+                vals[mask] = mem.gather_f32(active_addrs)
+                _masked_setf(warp.f, ins.rd, vals, mask)
+        elif m in ("sw", "fsw"):
+            addrs = base + ins.imm
+            active_addrs = addrs[mask]
+            if m == "sw":
+                mem.scatter_i32(active_addrs, warp.x[ins.rs2][mask])
+            else:
+                mem.scatter_f32(active_addrs, warp.f[ins.rs2][mask])
+            completion = self._lsu_store_timing(active_addrs, lanes, now)
+        else:
+            # AMOs bypass the cache and serialise per lane through DRAM.
+            addrs = base[mask]
+            if (addrs & 3).any():
+                raise TrapError(f"unaligned atomic at pc {warp.pc:#x}")
+            completion = now + cfg.dcache_hit_latency
+            results = np.zeros(lanes, dtype=np.int32)
+            src = warp.x[ins.rs2][mask]
+            expected = warp.x[ins.rd][mask] if m == "amocas.w" else None
+            lane_ids = np.nonzero(mask)[0]
+            for i in range(lanes):
+                addr = int(addrs[i])
+                line = addr & ~(cfg.line_size - 1)
+                completion = self.machine.dram.access(line, completion)
+                old = mem.read_word(addr)
+                results[i] = old
+                val = int(src[i])
+                if m == "amoadd.w":
+                    new = int(np.int32(np.int64(old) + val))
+                elif m == "amomin.w":
+                    new = min(old, val)
+                elif m == "amomax.w":
+                    new = max(old, val)
+                elif m == "amoswap.w":
+                    new = val
+                else:  # amocas.w
+                    new = val if old == int(expected[i]) else old
+                mem.write_word(addr, new)
+            if ins.rd != 0:
+                full = np.zeros_like(warp.x[0])
+                full[lane_ids] = results
+                _masked_set(warp.x, ins.rd, full, mask)
+        warp.pc += 4
+        warp.x[0] = 0
+        self.lsu_inflight.append(completion)
+        unpack = max(1, -(-lanes // cfg.lsu_lanes_per_cycle))
+        self.lsu_busy_until = max(self.lsu_busy_until, now) + unpack
+        if meta.dst is not None:
+            cls, reg = meta.dst
+            if cls == "x":
+                warp.x_ready[reg] = completion
+            else:
+                warp.f_ready[reg] = completion
+
+    def _lsu_load_timing(self, addrs: np.ndarray, lanes: int,
+                         now: int) -> int | None:
+        """Cache/MSHR/DRAM timing for one warp load.
+
+        Returns the data-ready cycle, or ``None`` when a new line miss
+        found every MSHR occupied (the load must be replayed).
+        """
+        cfg = self.config
+        if len(addrs) == 0:
+            return now + cfg.dcache_hit_latency
+        line_ids = addrs // cfg.line_size
+        lines, lane_counts = np.unique(line_ids, return_counts=True)
+        completion = now + cfg.dcache_hit_latency
+        new_misses: list[tuple[int, int]] = []  # (line, lanes)
+        waiting_lanes = 0
+        merged_completions: list[int] = []
+        for line, nlanes in zip(lines, lane_counts):
+            line = int(line) * cfg.line_size
+            pending = self.mshrs.get(line)
+            if pending is not None:
+                # Fill already in flight: lanes merge onto it but still
+                # occupy their own MSHR entries until it returns.
+                merged_completions.append(pending)
+                waiting_lanes += int(nlanes)
+            elif self.dcache.lookup(line):
+                continue
+            else:
+                new_misses.append((line, int(nlanes)))
+                waiting_lanes += int(nlanes)
+        if waiting_lanes:
+            occupancy = sum(n for _, n in self.mshr_entries)
+            free = cfg.mshrs - occupancy
+            # Oversized gathers (more lanes than MSHRs exist) are allowed
+            # through once the MSHRs have fully drained, guaranteeing
+            # forward progress.
+            if waiting_lanes > free and not (
+                waiting_lanes > cfg.mshrs and occupancy == 0
+            ):
+                return None
+            for t in merged_completions:
+                completion = max(completion, t)
+            for line, nlanes in new_misses:
+                t = self.machine.dram.access(line,
+                                             now + cfg.dcache_hit_latency)
+                self.mshrs[line] = t
+                self.dcache.fill(line)
+                merged_completions.append(t)
+                completion = max(completion, t)
+            # Lanes of each line release when their fill returns.
+            for line, nlanes in zip(lines, lane_counts):
+                line = int(line) * cfg.line_size
+                t = self.mshrs.get(line)
+                if t is not None:
+                    self.mshr_entries.append((t, int(nlanes)))
+        unpack = max(1, -(-lanes // cfg.lsu_lanes_per_cycle))
+        return completion + unpack
+
+    def _lsu_store_timing(self, addrs: np.ndarray, lanes: int,
+                          now: int) -> int:
+        """Write-through, no-allocate stores: pay DRAM bandwidth, hold an
+        LSU entry, but never block on MSHRs and never wait the warp.
+        Stores to a line still in the write-combining buffer merge (a
+        partial-line store would otherwise hit DRAM once per wave)."""
+        cfg = self.config
+        if len(addrs) == 0:
+            return now + cfg.dcache_hit_latency
+        lines = np.unique(addrs // cfg.line_size) * cfg.line_size
+        completion = now + cfg.dcache_hit_latency
+        for line in lines:
+            line = int(line)
+            if line in self.wc_buffer:
+                self._wc_stamp += 1
+                self.wc_buffer[line] = self._wc_stamp  # refresh LRU
+                continue
+            t = self.machine.dram.access(line, now + cfg.dcache_hit_latency)
+            completion = max(completion, t)
+            self._wc_stamp += 1
+            self.wc_buffer[line] = self._wc_stamp
+            if len(self.wc_buffer) > cfg.wc_entries:
+                victim = min(self.wc_buffer, key=self.wc_buffer.get)
+                del self.wc_buffer[victim]
+        unpack = max(1, -(-lanes // cfg.lsu_lanes_per_cycle))
+        return completion + unpack
+
+    # -- SIMT control -------------------------------------------------------
+
+    def _execute_simt(self, warp: Warp, ins: Instruction, now: int) -> None:
+        m = ins.mnemonic
+        if m == "split":
+            self._execute_split(warp, ins)
+        elif m == "join":
+            entry = warp.pop_join()
+            if entry.uniform:
+                warp.pc += 4
+            elif entry.pc is not None:
+                warp.tmask = entry.mask
+                warp.pc = entry.pc
+            else:
+                warp.tmask = entry.mask
+                warp.pc += 4
+        elif m == "pred":
+            cont = (warp.x[ins.rs1] != 0) & warp.tmask
+            if cont.any():
+                warp.tmask = cont
+                warp.pc += 8  # skip the loop-exit jump
+            else:
+                bits = int(warp.x[ins.rs2][warp.first_active_lane()])
+                warp.set_tmask_bits(bits)
+                warp.pc += 4  # execute the loop-exit jump
+        elif m == "tmc":
+            bits = int(warp.x[ins.rs1][warp.first_active_lane()])
+            warp.set_tmask_bits(bits)
+            warp.pc += 4
+            if not warp.tmask.any():
+                warp.halt()
+                self.machine.on_warp_halt(self, warp)
+        elif m == "halt":
+            warp.pc += 4
+            warp.halt()
+            self.machine.on_warp_halt(self, warp)
+        elif m == "bar":
+            bar_id = int(warp.x[ins.rs1][warp.first_active_lane()])
+            count = int(warp.x[ins.rs2][warp.first_active_lane()])
+            warp.pc += 4
+            waiting = self.barriers.setdefault(bar_id, [])
+            waiting.append(warp.wid)
+            if len(waiting) >= count:
+                for wid in waiting:
+                    self.warps[wid].at_barrier = False
+                    self.warps[wid].ready_at = now + 1
+                del self.barriers[bar_id]
+            else:
+                warp.at_barrier = True
+                self.stats.barrier_waits += 1
+        elif m == "wspawn":
+            count = int(warp.x[ins.rs1][warp.first_active_lane()])
+            target = int(warp.x[ins.rs2][warp.first_active_lane()])
+            warp.pc += 4
+            spawned = 0
+            for other in self.warps:
+                if other is warp or other.active or spawned >= count - 1:
+                    continue
+                other.pc = target
+                other.tmask = np.ones(self.config.threads, dtype=bool)
+                other.active = True
+                other.ready_at = now + 1
+                spawned += 1
+        elif m == "printfx":
+            self._execute_printf(warp, ins)
+            warp.pc += 4
+        else:  # pragma: no cover
+            raise SimulationError(f"unknown SIMT op {m}")
+        warp.x[0] = 0
+
+    def _execute_split(self, warp: Warp, ins: Instruction) -> None:
+        """Fused SPLIT + conditional branch (see codegen docstring)."""
+        branch, _ = self.machine.fetch(warp.pc + 4)
+        if branch.mnemonic not in ("beq", "bne") or branch.rs2 != 0:
+            raise SimulationError(
+                f"SPLIT at pc {warp.pc:#x} not followed by a beq/bne on x0"
+            )
+        pred = (warp.x[ins.rs1] != 0) & warp.tmask
+        if branch.mnemonic == "beq":
+            # Lanes with cond == 0 take the branch (the else side).
+            else_mask = warp.tmask & ~pred
+            then_mask = pred
+        else:
+            else_mask = pred
+            then_mask = warp.tmask & ~pred
+        branch_target = warp.pc + 4 + branch.imm
+        if not else_mask.any() or not then_mask.any():
+            warp.push_uniform_marker()
+            warp.pc += 4  # branch executes normally next cycle
+            return
+        warp.push_divergence(warp.tmask, else_mask, branch_target)
+        warp.tmask = then_mask
+        warp.pc += 8  # branch is consumed by the split
+
+    def _execute_printf(self, warp: Warp, ins: Instruction) -> None:
+        mem = self.machine.memory
+        fmt_addr = int(warp.x[ins.rs1][warp.first_active_lane()])
+        fmt = mem.read_cstring(fmt_addr)
+        spec_types = _printf_arg_types(fmt)
+        for lane in np.nonzero(warp.tmask)[0]:
+            cursor = int(warp.x[ins.rs2][lane])
+            args = []
+            for ty in spec_types:
+                word = mem.read_word(cursor)
+                cursor += 4
+                if ty == "f":
+                    args.append(float(np.array([word], dtype=np.int32)
+                                      .view(np.float32)[0]))
+                else:
+                    args.append(int(word))
+            try:
+                text = fmt % tuple(args)
+            except (TypeError, ValueError) as exc:
+                raise TrapError(f"bad printf at pc {warp.pc:#x}: {exc}")
+            self.machine.printf_output.append(text)
+
+
+def _printf_arg_types(fmt: str) -> list[str]:
+    """'f' for float conversions, 'd' for everything else."""
+    out = []
+    i = 0
+    while i < len(fmt):
+        if fmt[i] == "%":
+            if i + 1 < len(fmt) and fmt[i + 1] == "%":
+                i += 2
+                continue
+            j = i + 1
+            while j < len(fmt) and fmt[j] in "0123456789.+- #":
+                j += 1
+            if j < len(fmt):
+                out.append("f" if fmt[j] in "feEgG" else "d")
+            i = j + 1
+        else:
+            i += 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Lane-vector arithmetic helpers.
+# ---------------------------------------------------------------------------
+
+
+def _masked_set(regfile: np.ndarray, rd: int, values: np.ndarray,
+                mask: np.ndarray) -> None:
+    if rd != 0:  # writes to x0 are dropped
+        regfile[rd][mask] = values[mask]
+
+
+def _masked_setf(regfile: np.ndarray, rd: int, values: np.ndarray,
+                 mask: np.ndarray) -> None:
+    regfile[rd][mask] = values[mask]
+
+
+def _int_binop(m: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if m == "add":
+        return a + b
+    if m == "sub":
+        return a - b
+    if m == "sll":
+        return a << (b & 31)
+    if m == "slt":
+        return (a < b).astype(np.int32)
+    if m == "sltu":
+        return (a.view(np.uint32) < b.view(np.uint32)).astype(np.int32)
+    if m == "xor":
+        return a ^ b
+    if m == "srl":
+        return (a.view(np.uint32) >> (b & 31).view(np.uint32)).view(np.int32)
+    if m == "sra":
+        return a >> (b & 31)
+    if m == "or":
+        return a | b
+    if m == "and":
+        return a & b
+    if m == "mul":
+        return (a.astype(np.int64) * b.astype(np.int64)).astype(np.int32)
+    if m == "mulh":
+        return ((a.astype(np.int64) * b.astype(np.int64)) >> 32).astype(
+            np.int32)
+    if m == "div":
+        return _sdiv(a, b)
+    if m == "rem":
+        return _srem(a, b)
+    raise SimulationError(f"bad int binop {m}")  # pragma: no cover
+
+
+def _int_immop(m: str, a: np.ndarray, imm: int) -> np.ndarray:
+    if m == "addi":
+        return a + np.int32(imm)
+    if m == "slti":
+        return (a < np.int32(imm)).astype(np.int32)
+    if m == "sltiu":
+        return (a.view(np.uint32) < np.uint32(imm & 0xFFFFFFFF)).astype(
+            np.int32)
+    if m == "xori":
+        return a ^ np.int32(imm)
+    if m == "ori":
+        return a | np.int32(imm)
+    if m == "andi":
+        return a & np.int32(imm)
+    if m == "slli":
+        return a << (imm & 31)
+    if m == "srli":
+        return (a.view(np.uint32) >> np.uint32(imm & 31)).view(np.int32)
+    if m == "srai":
+        return a >> (imm & 31)
+    raise SimulationError(f"bad int immop {m}")  # pragma: no cover
+
+
+def _sdiv(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    res = np.full_like(a, -1)
+    ovf = (a == _INT32_MIN) & (b == -1)
+    res[ovf] = _INT32_MIN
+    safe = (b != 0) & ~ovf
+    q = np.trunc(a[safe].astype(np.float64) / b[safe].astype(np.float64))
+    res[safe] = q.astype(np.int64).astype(np.int32)
+    return res
+
+
+def _srem(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    res = a.copy()  # rem by zero -> dividend
+    ovf = (a == _INT32_MIN) & (b == -1)
+    res[ovf] = 0
+    safe = (b != 0) & ~ovf
+    q = np.trunc(a[safe].astype(np.float64) / b[safe].astype(np.float64))
+    res[safe] = (
+        a[safe].astype(np.int64) - q.astype(np.int64) * b[safe].astype(np.int64)
+    ).astype(np.int32)
+    return res
+
+
+def _float_binop(m: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if m == "fadd.s":
+        return a + b
+    if m == "fsub.s":
+        return a - b
+    if m == "fmul.s":
+        return a * b
+    if m == "fdiv.s":
+        return a / b
+    if m == "fmin.s":
+        return np.fmin(a, b)
+    if m == "fmax.s":
+        return np.fmax(a, b)
+    if m == "fpow.s":
+        return np.power(a.astype(np.float64), b.astype(np.float64)).astype(
+            np.float32)
+    raise SimulationError(f"bad float binop {m}")  # pragma: no cover
+
+
+def _float_unop(m: str, a: np.ndarray) -> np.ndarray:
+    if m == "fsqrt.s":
+        return np.sqrt(a)
+    if m == "fexp.s":
+        return np.exp(a.astype(np.float64)).astype(np.float32)
+    if m == "flog.s":
+        return np.log(a.astype(np.float64)).astype(np.float32)
+    if m == "fsin.s":
+        return np.sin(a.astype(np.float64)).astype(np.float32)
+    if m == "fcos.s":
+        return np.cos(a.astype(np.float64)).astype(np.float32)
+    if m == "ffloor.s":
+        return np.floor(a)
+    raise SimulationError(f"bad float unop {m}")  # pragma: no cover
+
+
+def _float_sgnj(m: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    abits = a.view(np.int32)
+    bbits = b.view(np.int32)
+    if m == "fsgnj.s":
+        out = (abits & 0x7FFFFFFF) | (bbits & np.int32(-(2**31)))
+    elif m == "fsgnjn.s":
+        out = (abits & 0x7FFFFFFF) | (~bbits & np.int32(-(2**31)))
+    else:  # fsgnjx.s
+        out = abits ^ (bbits & np.int32(-(2**31)))
+    return out.view(np.float32)

@@ -1,0 +1,281 @@
+"""The whole simulated Vortex device: cores + shared DRAM + dispatcher.
+
+The dispatcher models Vortex's work-group scheduling: work-groups are
+assigned to cores as warp-sets (one group occupies ``ceil(local_items /
+T)`` warps on one core and one *slot*, which selects its barrier id and
+local-memory window). Warps halt when their kernel returns; freed warps
+immediately receive the next pending group. The machine advances one
+cycle at a time while any core issues, and skips ahead to the next
+scoreboard/LSU completion when every core is stalled (event skipping:
+identical cycle counts, much faster wall-clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ...errors import RuntimeLaunchError, SimulationError
+from ...ocl.ndrange import NDRange
+from .. import layout
+from ..codegen import VortexKernelImage
+from ..isa import CSR, Instruction
+from .config import VortexConfig
+from .core import Core, CoreStats, InstrMeta, instr_meta
+from .dram import DRAM
+from .mem import Memory
+from .warp import BLOCKED
+
+
+@dataclass
+class LaunchResult:
+    cycles: int
+    instructions: int
+    printf_output: list[str]
+    core_stats: list[CoreStats]
+    dram_row_hit_rate: float
+    dcache_hit_rate: float
+    lsu_stalls: int
+    idle_cycles: int
+    groups_dispatched: int
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def time_ms(self, clock_mhz: float) -> float:
+        return self.cycles / (clock_mhz * 1e3)
+
+
+class Machine:
+    def __init__(self, config: VortexConfig, trace: bool = False):
+        self.config = config
+        self.memory = Memory()
+        self.dram = DRAM(config.dram, config.line_size)
+        self.cores = [Core(c, config, self) for c in range(config.cores)]
+        self.printf_output: list[str] = []
+        #: optional execution trace: (cycle, core, warp, pc, disasm, tmask)
+        #: per issued instruction. Enable only for debugging — it grows
+        #: with every instruction executed.
+        self.trace: list[tuple[int, int, int, int, str, int]] | None = (
+            [] if trace else None
+        )
+        self.program = None
+        self._meta: list[InstrMeta] = []
+        self._group_remaining: dict[int, int] = {}
+        self._group_slot: dict[int, tuple[int, int]] = {}  # key -> (core, slot)
+        self._slot_free: list[list[bool]] = [
+            [True] * config.warps for _ in range(config.cores)
+        ]
+        self._pending: list[tuple[int, int, int]] = []
+        self._next_group_key = 0
+        self._dispatch_cursor = 0
+        self._image: VortexKernelImage | None = None
+        self._groups_dispatched = 0
+
+    # ------------------------------------------------------------------
+    # Image loading.
+    # ------------------------------------------------------------------
+
+    def load_image(self, image: VortexKernelImage) -> None:
+        self._image = image
+        self.program = image.program
+        self.memory.write_words(layout.CODE_BASE,
+                                image.program.words.view(np.int32))
+        for fmt, addr in image.fmt_table.items():
+            raw = fmt.encode() + b"\x00"
+            self.memory.write_bytes(addr, raw)
+        self._meta = [instr_meta(i) for i in image.program.instructions]
+
+    def fetch(self, pc: int) -> tuple[Instruction, InstrMeta]:
+        idx = self.program.index_of_pc(pc)
+        return self.program.instructions[idx], self._meta[idx]
+
+    # ------------------------------------------------------------------
+    # Launch.
+    # ------------------------------------------------------------------
+
+    def launch(self, ndrange: NDRange, max_cycles: int = 200_000_000
+               ) -> LaunchResult:
+        if self._image is None:
+            raise RuntimeLaunchError("no kernel image loaded")
+        cfg = self.config
+        ipg = ndrange.items_per_group
+        warps_needed = self._warps_per_group(ndrange)
+        if warps_needed > cfg.warps:
+            raise RuntimeLaunchError(
+                f"work-group of {ipg} items needs {warps_needed} resident "
+                f"warps (barrier kernel); the configuration has "
+                f"{cfg.warps} per core"
+            )
+        # NDRange descriptor for get_*_size queries done via memory.
+        ndr_words = np.array(
+            list(ndrange.global_size) + list(ndrange.local_size)
+            + list(ndrange.num_groups),
+            dtype=np.int32,
+        )
+        self.memory.write_words(layout.NDR_BASE, ndr_words)
+
+        self._pending = self._partition_groups(ndrange)
+        self._ndrange = ndrange
+        self._groups_dispatched = 0
+        self.printf_output.clear()
+        now = 0
+        self._try_dispatch(now)
+        total_groups = len(self._pending) + self._groups_dispatched
+
+        while True:
+            issued_any = False
+            for core in self.cores:
+                if core.tick(now):
+                    issued_any = True
+            if self._pending:
+                self._try_dispatch(now)
+            if self._done():
+                now += 1
+                break
+            if not issued_any:
+                nxt = min(core.next_event_time(now) for core in self.cores)
+                if nxt >= BLOCKED:
+                    raise SimulationError(
+                        "deadlock: all warps blocked (barrier mismatch?)"
+                    )
+                now = max(now + 1, nxt)
+            else:
+                now += 1
+            if now > max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {max_cycles} cycles"
+                )
+
+        hits = sum(c.dcache.stats.hits for c in self.cores)
+        misses = sum(c.dcache.stats.misses for c in self.cores)
+        return LaunchResult(
+            cycles=now,
+            instructions=sum(c.stats.instructions for c in self.cores),
+            printf_output=list(self.printf_output),
+            core_stats=[c.stats for c in self.cores],
+            dram_row_hit_rate=self.dram.stats.row_hit_rate,
+            dcache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+            lsu_stalls=sum(c.stats.lsu_stalls + c.stats.lsu_replays
+                           for c in self.cores),
+            idle_cycles=sum(c.stats.idle_cycles for c in self.cores),
+            groups_dispatched=total_groups,
+            extra={
+                "lsu_replays": sum(c.stats.lsu_replays for c in self.cores),
+            },
+        )
+
+    def _done(self) -> bool:
+        if self._pending:
+            return False
+        return all(
+            not w.active for core in self.cores for w in core.warps
+        )
+
+    # ------------------------------------------------------------------
+    # Work-group dispatch.
+    # ------------------------------------------------------------------
+
+    def _warps_per_group(self, ndrange: NDRange) -> int:
+        """1 in wave mode (a warp sweeps its group in waves of T lanes);
+        ceil(items/T) for barrier kernels (warp-set dispatch)."""
+        if self._image is not None and self._image.wave_mode:
+            return 1
+        return max(1, -(-ndrange.items_per_group // self.config.threads))
+
+    def _partition_groups(self, ndrange: NDRange) -> list:
+        """Static chunked partitioning, as Vortex's ``vx_spawn`` does:
+        each warp-set slot owns a *contiguous* range of work-groups, so
+        concurrent slots stream through distant address regions. The
+        pending list is ordered so that popping round-robin hands every
+        slot the next group of its own chunk."""
+        groups = list(ndrange.groups())
+        cfg = self.config
+        if not cfg.chunked_dispatch:
+            return groups  # interleaved round-robin hand-out
+        warps_needed = self._warps_per_group(ndrange)
+        slots_total = max(1, (cfg.warps // warps_needed) * cfg.cores)
+        nchunks = min(slots_total, len(groups))
+        if nchunks <= 1:
+            return groups
+        chunk = -(-len(groups) // nchunks)
+        chunks = [groups[i * chunk: (i + 1) * chunk]
+                  for i in range(nchunks)]
+        interleaved: list = []
+        for depth in range(chunk):
+            for ch in chunks:
+                if depth < len(ch):
+                    interleaved.append(ch[depth])
+        return interleaved
+
+    def _try_dispatch(self, now: int) -> None:
+        cfg = self.config
+        ndr = self._ndrange
+        ipg = ndr.items_per_group
+        warps_needed = self._warps_per_group(ndr)
+        wave_mode = self._image is not None and self._image.wave_mode
+        ncores = cfg.cores
+        stuck = 0
+        while self._pending and stuck < ncores:
+            core = self.cores[self._dispatch_cursor % ncores]
+            self._dispatch_cursor += 1
+            free_warps = [w for w in core.warps if not w.active]
+            free_slots = [s for s, ok in enumerate(self._slot_free[core.cid])
+                          if ok]
+            if len(free_warps) < warps_needed or not free_slots:
+                stuck += 1
+                continue
+            stuck = 0
+            group = self._pending.pop(0)
+            slot = free_slots[0]
+            self._slot_free[core.cid][slot] = False
+            key = self._next_group_key
+            self._next_group_key += 1
+            self._group_remaining[key] = warps_needed
+            self._group_slot[key] = (core.cid, slot)
+            local_base = layout.local_window(core.cid, slot, cfg.warps)
+            entry_pc = self.program.labels[self._image.kernel_name]
+            for k in range(warps_needed):
+                warp = free_warps[k]
+                csrs = {
+                    int(CSR.GROUP_ID0): group[0],
+                    int(CSR.GROUP_ID1): group[1],
+                    int(CSR.GROUP_ID2): group[2],
+                    int(CSR.LOCAL_OFFSET): k * cfg.threads,
+                    int(CSR.GROUP_SLOT): slot,
+                    int(CSR.GROUP_WARPS): warps_needed,
+                    int(CSR.LOCAL_BASE): local_base,
+                }
+                tmask = np.zeros(cfg.threads, dtype=bool)
+                if wave_mode:
+                    # First wave: lanes 0..min(T, items)-1; the kernel's
+                    # own wave loop re-masks the later waves.
+                    tmask[: min(cfg.threads, ipg)] = True
+                else:
+                    for lane in range(cfg.threads):
+                        tmask[lane] = k * cfg.threads + lane < ipg
+                sp = np.array(
+                    [
+                        layout.stack_top(
+                            (core.cid * cfg.warps + warp.wid) * cfg.threads
+                            + lane
+                        )
+                        for lane in range(cfg.threads)
+                    ],
+                    dtype=np.int32,
+                )
+                warp.reset_for_group(entry_pc, tmask, csrs, sp)
+                warp.ready_at = now + 1
+                warp.group_key = key
+            self._groups_dispatched += 1
+
+    def on_warp_halt(self, core: Core, warp) -> None:
+        key = warp.group_key
+        if key is None:
+            return
+        self._group_remaining[key] -= 1
+        if self._group_remaining[key] == 0:
+            cid, slot = self._group_slot.pop(key)
+            self._slot_free[cid][slot] = True
+            del self._group_remaining[key]
+        warp.group_key = None

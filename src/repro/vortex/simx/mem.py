@@ -1,0 +1,91 @@
+"""Simulated device memory: a flat byte array with typed vector access.
+
+One :class:`Memory` instance backs the whole device (all cores share it,
+as on the real board). The runtime uses the byte-level helpers to load
+code, arguments and buffers; the cores use the word-vector gather/scatter
+paths, which are numpy-vectorised across warp lanes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import TrapError
+from .. import layout
+
+
+class Memory:
+    def __init__(self, size: int = layout.MEM_SIZE):
+        self.size = size
+        self.data = np.zeros(size, dtype=np.uint8)
+        self._words = self.data.view(np.int32)
+        self._floats = self.data.view(np.float32)
+
+    # -- host/runtime byte access ---------------------------------------
+
+    def write_bytes(self, addr: int, data: bytes | np.ndarray) -> None:
+        raw = np.frombuffer(bytes(data), dtype=np.uint8) \
+            if isinstance(data, (bytes, bytearray)) else data.view(np.uint8)
+        self._check_range(addr, len(raw))
+        self.data[addr: addr + len(raw)] = raw
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        self._check_range(addr, length)
+        return self.data[addr: addr + length].tobytes()
+
+    def write_words(self, addr: int, words: np.ndarray) -> None:
+        raw = np.ascontiguousarray(words).view(np.uint8)
+        self.write_bytes(addr, raw)
+
+    def read_word(self, addr: int) -> int:
+        self._check_word(np.array([addr]))
+        return int(self._words[addr >> 2])
+
+    def write_word(self, addr: int, value: int) -> None:
+        self._check_word(np.array([addr]))
+        self._words[addr >> 2] = np.int32(value & 0xFFFFFFFF if value >= 0
+                                          else value)
+
+    def read_cstring(self, addr: int, limit: int = 4096) -> str:
+        end = min(addr + limit, self.size)
+        chunk = self.data[addr:end]
+        nul = np.nonzero(chunk == 0)[0]
+        if len(nul) == 0:
+            raise TrapError(f"unterminated string at {addr:#x}")
+        return chunk[: nul[0]].tobytes().decode("utf-8", errors="replace")
+
+    # -- lane-vector access ----------------------------------------------
+
+    def gather_i32(self, addrs: np.ndarray) -> np.ndarray:
+        self._check_word(addrs)
+        return self._words[addrs >> 2]
+
+    def gather_f32(self, addrs: np.ndarray) -> np.ndarray:
+        self._check_word(addrs)
+        return self._floats[addrs >> 2]
+
+    def scatter_i32(self, addrs: np.ndarray, values: np.ndarray) -> None:
+        self._check_word(addrs)
+        self._words[addrs >> 2] = values
+
+    def scatter_f32(self, addrs: np.ndarray, values: np.ndarray) -> None:
+        self._check_word(addrs)
+        self._floats[addrs >> 2] = values
+
+    # -- checks -----------------------------------------------------------
+
+    def _check_range(self, addr: int, length: int) -> None:
+        if addr < 0 or addr + length > self.size:
+            raise TrapError(
+                f"memory access [{addr:#x}, {addr + length:#x}) outside "
+                f"device memory of {self.size:#x} bytes"
+            )
+
+    def _check_word(self, addrs: np.ndarray) -> None:
+        addrs_u = addrs.astype(np.int64)
+        if (addrs_u < 0).any() or (addrs_u + 4 > self.size).any():
+            bad = addrs_u[(addrs_u < 0) | (addrs_u + 4 > self.size)][0]
+            raise TrapError(f"memory access at {int(bad):#x} out of range")
+        if (addrs_u & 3).any():
+            bad = addrs_u[(addrs_u & 3) != 0][0]
+            raise TrapError(f"unaligned word access at {int(bad):#x}")

@@ -1,0 +1,111 @@
+"""Warp state: register files, thread mask, IPDOM stack, scoreboard.
+
+The IPDOM (immediate-postdominator) stack implements the paper's
+SPLIT/JOIN divergence scheme (§II-D): SPLIT pushes the original mask and
+the not-taken side, JOIN pops — the taken path runs first, then the warp
+is redirected to the not-taken path, then the original mask is restored
+at the reconvergence point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import SimulationError
+
+#: Sentinel "ready" time for warps blocked at a barrier.
+BLOCKED = 1 << 60
+
+
+@dataclass
+class IPDOMEntry:
+    """One divergence-stack entry.
+
+    ``uniform`` entries are markers pushed by a SPLIT that observed a
+    uniform predicate; JOIN pops them and continues. Entries with a
+    ``pc`` redirect the warp to the not-taken side; entries without
+    restore the mask and fall through.
+    """
+
+    mask: np.ndarray | None
+    pc: int | None
+    uniform: bool = False
+
+
+class Warp:
+    def __init__(self, wid: int, num_threads: int):
+        self.wid = wid
+        self.num_threads = num_threads
+        self.x = np.zeros((32, num_threads), dtype=np.int32)
+        self.f = np.zeros((32, num_threads), dtype=np.float32)
+        self.pc = 0
+        self.tmask = np.zeros(num_threads, dtype=bool)
+        self.active = False
+        self.at_barrier = False
+        #: earliest cycle the warp may issue again (structural).
+        self.ready_at = 0
+        #: scoreboard: cycle each register's value becomes available.
+        self.x_ready = np.zeros(32, dtype=np.int64)
+        self.f_ready = np.zeros(32, dtype=np.int64)
+        self.ipdom: list[IPDOMEntry] = []
+        #: warp-level CSRs set by the dispatcher (group ids etc.).
+        self.csrs: dict[int, int] = {}
+        #: the group this warp is working on (machine bookkeeping).
+        self.group_key: object = None
+
+    def reset_for_group(self, pc: int, tmask: np.ndarray, csrs: dict[int, int],
+                        sp_values: np.ndarray) -> None:
+        self.x.fill(0)
+        self.f.fill(0)
+        self.x[2] = sp_values  # stack pointers, one per lane
+        self.pc = pc
+        self.tmask = tmask.copy()
+        self.active = True
+        self.at_barrier = False
+        self.ready_at = 0
+        self.x_ready.fill(0)
+        self.f_ready.fill(0)
+        self.ipdom.clear()
+        self.csrs = dict(csrs)
+
+    def halt(self) -> None:
+        self.active = False
+        self.at_barrier = False
+
+    # -- divergence stack -------------------------------------------------
+
+    def push_uniform_marker(self) -> None:
+        self.ipdom.append(IPDOMEntry(mask=None, pc=None, uniform=True))
+
+    def push_divergence(self, orig_mask: np.ndarray, else_mask: np.ndarray,
+                        else_pc: int) -> None:
+        self.ipdom.append(IPDOMEntry(mask=orig_mask.copy(), pc=None))
+        self.ipdom.append(IPDOMEntry(mask=else_mask.copy(), pc=else_pc))
+
+    def pop_join(self) -> IPDOMEntry:
+        if not self.ipdom:
+            raise SimulationError(
+                f"warp {self.wid}: JOIN with empty IPDOM stack at pc "
+                f"{self.pc:#x} (unbalanced divergence — miscompiled kernel)"
+            )
+        return self.ipdom.pop()
+
+    # -- helpers ------------------------------------------------------------
+
+    def first_active_lane(self) -> int:
+        lanes = np.nonzero(self.tmask)[0]
+        if len(lanes) == 0:
+            raise SimulationError(
+                f"warp {self.wid}: no active lanes at pc {self.pc:#x}"
+            )
+        return int(lanes[0])
+
+    def tmask_bits(self) -> int:
+        return int(sum(1 << int(i) for i in np.nonzero(self.tmask)[0]))
+
+    def set_tmask_bits(self, bits: int) -> None:
+        self.tmask = np.array(
+            [(bits >> i) & 1 == 1 for i in range(self.num_threads)], dtype=bool
+        )

@@ -1,0 +1,373 @@
+"""Tests for the KernelBuilder DSL and on-the-fly SSA construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError, TypeMismatchError
+from repro.ocl import (
+    FLOAT32,
+    GLOBAL_FLOAT32,
+    GLOBAL_INT32,
+    INT32,
+    KernelBuilder,
+    NDRange,
+    Opcode,
+    interpret,
+    validate,
+)
+
+
+def build_vecadd():
+    b = KernelBuilder("vecadd")
+    a = b.param("a", GLOBAL_FLOAT32)
+    c = b.param("b", GLOBAL_FLOAT32)
+    out = b.param("out", GLOBAL_FLOAT32)
+    gid = b.global_id(0)
+    b.store(out, gid, b.add(b.load(a, gid), b.load(c, gid)))
+    return b.finish()
+
+
+class TestBasics:
+    def test_straightline_kernel_validates(self):
+        kernel = build_vecadd()
+        validate(kernel)
+        assert kernel.name == "vecadd"
+        assert len(kernel.blocks) == 1
+        assert kernel.blocks[0].terminator.op is Opcode.RET
+
+    def test_params_are_ordered(self):
+        kernel = build_vecadd()
+        assert [p.name for p in kernel.params] == ["a", "b", "out"]
+        assert [p.index for p in kernel.params] == [0, 1, 2]
+
+    def test_interprets_correctly(self):
+        kernel = build_vecadd()
+        a = np.arange(8, dtype=np.float32)
+        c = np.full(8, 2.0, dtype=np.float32)
+        out = np.zeros(8, dtype=np.float32)
+        interpret(kernel, [a, c, out], NDRange.create(8, 4))
+        np.testing.assert_array_equal(out, a + c)
+
+    def test_finish_twice_raises(self):
+        b = KernelBuilder("k")
+        b.finish()
+        with pytest.raises(IRError):
+            b.finish()
+
+    def test_emit_after_finish_raises(self):
+        b = KernelBuilder("k")
+        b.finish()
+        with pytest.raises(IRError):
+            b.global_id(0)
+
+    def test_implicit_return(self):
+        b = KernelBuilder("k")
+        kernel = b.finish()
+        assert kernel.entry.terminator.op is Opcode.RET
+
+
+class TestTypeDispatch:
+    def test_add_dispatches_float(self):
+        b = KernelBuilder("k")
+        x = b.const(1.0)
+        v = b.add(x, 2.0)
+        assert v.op is Opcode.FADD
+
+    def test_add_dispatches_int(self):
+        b = KernelBuilder("k")
+        v = b.add(b.const(1), 2)
+        assert v.op is Opcode.ADD
+
+    def test_int_literal_coerces_to_float(self):
+        b = KernelBuilder("k")
+        v = b.mul(b.const(1.5), 2)
+        assert v.op is Opcode.FMUL
+
+    def test_mixed_types_raise(self):
+        b = KernelBuilder("k")
+        with pytest.raises(TypeMismatchError):
+            b.add(b.const(1, INT32), b.const(1.0, FLOAT32))
+
+    def test_rem_on_float_raises(self):
+        b = KernelBuilder("k")
+        with pytest.raises(TypeMismatchError):
+            b.rem(b.const(1.0), b.const(2.0))
+
+    def test_cmp_dispatch(self):
+        b = KernelBuilder("k")
+        assert b.lt(b.const(1), 2).op is Opcode.ICMP
+        assert b.lt(b.const(1.0), 2.0).op is Opcode.FCMP
+
+    def test_store_type_check(self):
+        b = KernelBuilder("k")
+        p = b.param("p", GLOBAL_INT32)
+        with pytest.raises(TypeMismatchError):
+            b.store(p, 0, b.const(1.5))
+
+    def test_load_requires_pointer(self):
+        b = KernelBuilder("k")
+        n = b.param("n", INT32)
+        with pytest.raises(TypeMismatchError):
+            b.load(n, 0)
+
+
+class TestControlFlow:
+    def test_if_guard(self):
+        b = KernelBuilder("guarded")
+        out = b.param("out", GLOBAL_INT32)
+        n = b.param("n", INT32)
+        gid = b.global_id(0)
+        with b.if_(b.lt(gid, n)):
+            b.store(out, gid, gid)
+        kernel = b.finish()
+        validate(kernel)
+        out_arr = np.zeros(8, dtype=np.int32)
+        interpret(kernel, [out_arr, 4], NDRange.create(8))
+        np.testing.assert_array_equal(out_arr, [0, 1, 2, 3, 0, 0, 0, 0])
+
+    def test_if_else_both_arms(self):
+        b = KernelBuilder("clamp")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        v = b.var("v", INT32)
+        with b.if_else(b.lt(gid, 4)) as (then, otherwise):
+            with then:
+                v.set(1)
+            with otherwise:
+                v.set(2)
+        b.store(out, gid, v.get())
+        kernel = b.finish()
+        validate(kernel)
+        out_arr = np.zeros(8, dtype=np.int32)
+        interpret(kernel, [out_arr], NDRange.create(8))
+        np.testing.assert_array_equal(out_arr, [1, 1, 1, 1, 2, 2, 2, 2])
+
+    def test_if_else_requires_both_arms(self):
+        b = KernelBuilder("k")
+        with pytest.raises(IRError):
+            with b.if_else(b.lt(b.global_id(0), 4)) as (then, otherwise):
+                with then:
+                    pass
+
+    def test_for_range_accumulates(self):
+        b = KernelBuilder("sum_n")
+        out = b.param("out", GLOBAL_INT32)
+        n = b.param("n", INT32)
+        acc = b.var("acc", INT32, init=0)
+        with b.for_range(0, n) as i:
+            acc.set(b.add(acc.get(), i))
+        b.store(out, 0, acc.get())
+        kernel = b.finish()
+        validate(kernel)
+        out_arr = np.zeros(1, dtype=np.int32)
+        interpret(kernel, [out_arr, 10], NDRange.create(1))
+        assert out_arr[0] == 45
+
+    def test_for_range_negative_step(self):
+        b = KernelBuilder("countdown")
+        out = b.param("out", GLOBAL_INT32)
+        with b.for_range(4, 0, step=-1) as i:
+            b.store(out, b.sub(4, i), i)
+        kernel = b.finish()
+        out_arr = np.zeros(4, dtype=np.int32)
+        interpret(kernel, [out_arr], NDRange.create(1))
+        np.testing.assert_array_equal(out_arr, [4, 3, 2, 1])
+
+    def test_for_range_zero_step_raises(self):
+        b = KernelBuilder("k")
+        with pytest.raises(IRError):
+            with b.for_range(0, 4, step=0):
+                pass
+
+    def test_for_range_zero_trip(self):
+        b = KernelBuilder("empty")
+        out = b.param("out", GLOBAL_INT32)
+        acc = b.var("acc", INT32, init=7)
+        with b.for_range(5, 5) as i:
+            acc.set(b.add(acc.get(), 100))
+        b.store(out, 0, acc.get())
+        kernel = b.finish()
+        out_arr = np.zeros(1, dtype=np.int32)
+        interpret(kernel, [out_arr], NDRange.create(1))
+        assert out_arr[0] == 7
+
+    def test_nested_loops(self):
+        b = KernelBuilder("nested")
+        out = b.param("out", GLOBAL_INT32)
+        acc = b.var("acc", INT32, init=0)
+        with b.for_range(0, 3):
+            with b.for_range(0, 4):
+                acc.set(b.add(acc.get(), 1))
+        b.store(out, 0, acc.get())
+        kernel = b.finish()
+        validate(kernel)
+        out_arr = np.zeros(1, dtype=np.int32)
+        interpret(kernel, [out_arr], NDRange.create(1))
+        assert out_arr[0] == 12
+
+    def test_while_loop(self):
+        b = KernelBuilder("collatz_steps")
+        out = b.param("out", GLOBAL_INT32)
+        n = b.param("n", INT32)
+        x = b.var("x", INT32, init=n)
+        steps = b.var("steps", INT32, init=0)
+        with b.while_(lambda: b.gt(x.get(), 1)):
+            with b.if_else(b.eq(b.rem(x.get(), 2), 0)) as (even, odd):
+                with even:
+                    x.set(b.div(x.get(), 2))
+                with odd:
+                    x.set(b.add(b.mul(x.get(), 3), 1))
+            steps.set(b.add(steps.get(), 1))
+        b.store(out, 0, steps.get())
+        kernel = b.finish()
+        validate(kernel)
+        out_arr = np.zeros(1, dtype=np.int32)
+        interpret(kernel, [out_arr, 6], NDRange.create(1))
+        assert out_arr[0] == 8  # 6→3→10→5→16→8→4→2→1
+
+    def test_break(self):
+        b = KernelBuilder("find_first")
+        data = b.param("data", GLOBAL_INT32)
+        out = b.param("out", GLOBAL_INT32)
+        n = b.param("n", INT32)
+        found = b.var("found", INT32, init=-1)
+        with b.for_range(0, n) as i:
+            with b.if_(b.eq(b.load(data, i), 42)):
+                found.set(i)
+                b.break_()
+        b.store(out, 0, found.get())
+        kernel = b.finish()
+        validate(kernel)
+        data_arr = np.array([5, 42, 42, 1], dtype=np.int32)
+        out_arr = np.zeros(1, dtype=np.int32)
+        interpret(kernel, [data_arr, out_arr, 4], NDRange.create(1))
+        assert out_arr[0] == 1
+
+    def test_continue(self):
+        b = KernelBuilder("sum_even")
+        out = b.param("out", GLOBAL_INT32)
+        acc = b.var("acc", INT32, init=0)
+        with b.for_range(0, 10) as i:
+            with b.if_(b.eq(b.rem(i, 2), 1)):
+                b.continue_()
+            acc.set(b.add(acc.get(), i))
+        b.store(out, 0, acc.get())
+        kernel = b.finish()
+        validate(kernel)
+        out_arr = np.zeros(1, dtype=np.int32)
+        interpret(kernel, [out_arr], NDRange.create(1))
+        assert out_arr[0] == 0 + 2 + 4 + 6 + 8
+
+    def test_break_outside_loop_raises(self):
+        b = KernelBuilder("k")
+        with pytest.raises(IRError):
+            b.break_()
+
+    def test_continue_outside_loop_raises(self):
+        b = KernelBuilder("k")
+        with pytest.raises(IRError):
+            b.continue_()
+
+    def test_var_read_before_write_raises(self):
+        b = KernelBuilder("k")
+        v = b.var("v", INT32)
+        with pytest.raises(IRError):
+            v.get()
+
+
+class TestSSAConstruction:
+    def test_loop_carried_variable_gets_phi(self):
+        b = KernelBuilder("k")
+        acc = b.var("acc", INT32, init=0)
+        with b.for_range(0, 10):
+            acc.set(b.add(acc.get(), 1))
+        kernel = b.finish()
+        phis = [i for i in kernel.instructions() if i.op is Opcode.PHI]
+        # The induction variable and acc each need a phi in the header.
+        assert len(phis) >= 2
+        validate(kernel)
+
+    def test_variable_unmodified_in_loop_has_no_phi(self):
+        b = KernelBuilder("k")
+        c = b.var("c", INT32, init=5)
+        sink = b.param("sink", GLOBAL_INT32)
+        with b.for_range(0, 10) as i:
+            b.store(sink, i, c.get())
+        kernel = b.finish()
+        # Trivial phi for c is removed; only the induction phi remains.
+        phis = [i for i in kernel.instructions() if i.op is Opcode.PHI]
+        assert len(phis) == 1
+        validate(kernel)
+
+    def test_diamond_merge_phi(self):
+        b = KernelBuilder("k")
+        out = b.param("out", GLOBAL_INT32)
+        v = b.var("v", INT32, init=0)
+        with b.if_else(b.lt(b.global_id(0), 4)) as (t, e):
+            with t:
+                v.set(10)
+            with e:
+                v.set(20)
+        b.store(out, 0, v.get())
+        kernel = b.finish()
+        validate(kernel)
+        merge_phis = [i for i in kernel.instructions() if i.op is Opcode.PHI]
+        assert len(merge_phis) == 1
+        assert len(merge_phis[0].attrs["incomings"]) == 2
+
+
+class TestArrays:
+    def test_local_array_shared_within_group(self):
+        b = KernelBuilder("reverse_tile")
+        data = b.param("data", GLOBAL_INT32)
+        out = b.param("out", GLOBAL_INT32)
+        tile = b.local_array("tile", INT32, 4)
+        lid = b.local_id(0)
+        gid = b.global_id(0)
+        b.store(tile, lid, b.load(data, gid))
+        b.barrier()
+        rev = b.sub(3, lid)
+        b.store(out, gid, b.load(tile, rev))
+        kernel = b.finish()
+        validate(kernel)
+        data_arr = np.arange(8, dtype=np.int32)
+        out_arr = np.zeros(8, dtype=np.int32)
+        interpret(kernel, [data_arr, out_arr], NDRange.create(8, 4))
+        np.testing.assert_array_equal(out_arr, [3, 2, 1, 0, 7, 6, 5, 4])
+
+    def test_private_array_is_per_item(self):
+        b = KernelBuilder("priv")
+        out = b.param("out", GLOBAL_INT32)
+        scratch = b.private_array("scratch", INT32, 2)
+        gid = b.global_id(0)
+        b.store(scratch, 0, gid)
+        b.store(out, gid, b.load(scratch, 0))
+        kernel = b.finish()
+        out_arr = np.zeros(4, dtype=np.int32)
+        interpret(kernel, [out_arr], NDRange.create(4, 4))
+        np.testing.assert_array_equal(out_arr, [0, 1, 2, 3])
+
+    def test_array_size_must_be_positive(self):
+        b = KernelBuilder("k")
+        with pytest.raises(IRError):
+            b.local_array("t", INT32, 0)
+
+
+class TestDirectives:
+    def test_pipelined_load_recorded(self):
+        b = KernelBuilder("k")
+        p = b.param("p", GLOBAL_FLOAT32)
+        v = b.load(p, 0, pipelined=True)
+        w = b.load(p, 1)
+        kernel = b.finish()
+        assert kernel.directives[v] == "pipelined_load"
+        assert w not in kernel.directives
+
+
+class TestPrinter:
+    def test_format_is_stable(self):
+        kernel = build_vecadd()
+        text = kernel.format()
+        assert "kernel vecadd" in text
+        assert "get_global_id" in text
+        assert text.count("load") == 2

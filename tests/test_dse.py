@@ -1,0 +1,76 @@
+"""Tests for the design-space-exploration harness."""
+
+import numpy as np
+import pytest
+
+from repro.harness.dse import DSEResult, explore_design_space
+from repro.hls import STRATIX10_MX2100, STRATIX10_SX2800
+from repro.ocl import NDRange
+from repro.vortex import KernelProfile, VortexConfig
+from repro.benchmarks import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def profile():
+    bench = get_benchmark("vecadd")
+    kernel = bench.build()[0]
+    rng = np.random.default_rng(0)
+    n = 1024
+    args = [rng.random(n, dtype=np.float32),
+            rng.random(n, dtype=np.float32),
+            np.zeros(n, dtype=np.float32), n]
+    return KernelProfile.collect(kernel, args, NDRange.create(n, 16))
+
+
+class TestExploration:
+    def test_infeasible_points_rejected_with_reason(self, profile):
+        result = explore_design_space(
+            profile, device=STRATIX10_SX2800,
+            core_counts=(2, 32), warp_sizes=(8,), thread_sizes=(16,),
+        )
+        assert len(result.candidates) == 1
+        assert len(result.rejected) == 1
+        geometry, reason = result.rejected[0]
+        assert geometry == (32, 8, 16)
+        assert reason in ("aluts", "ffs", "bram", "dsps")
+
+    def test_all_candidates_fit_device(self, profile):
+        result = explore_design_space(profile, device=STRATIX10_MX2100,
+                                      core_counts=(1, 2, 4, 8, 16))
+        for cand in result.candidates:
+            assert cand.area.aluts <= STRATIX10_MX2100.aluts
+            assert cand.area.brams <= STRATIX10_MX2100.brams
+
+    def test_best_prefers_simulated(self, profile):
+        calls = []
+
+        def fake_sim(config):
+            calls.append(config.label())
+            # Invert the analytical order: the "worst" predicted of the
+            # simulated set gets the best simulated time.
+            return 1000 - len(calls)
+
+        result = explore_design_space(
+            profile, core_counts=(2,), warp_sizes=(2, 4),
+            thread_sizes=(4,), simulate_top=2, simulate=fake_sim,
+        )
+        assert len(calls) == 2
+        best = result.best
+        assert best.simulated_cycles is not None
+        assert best.simulated_cycles == min(
+            c.simulated_cycles for c in result.candidates
+            if c.simulated_cycles is not None)
+
+    def test_best_without_simulation_uses_prediction(self, profile):
+        result = explore_design_space(profile, core_counts=(2, 4),
+                                      warp_sizes=(4,), thread_sizes=(4, 8))
+        best = result.best
+        assert best.prediction.cycles == min(
+            c.prediction.cycles for c in result.candidates)
+
+    def test_render(self, profile):
+        result = explore_design_space(profile, core_counts=(2,),
+                                      warp_sizes=(2, 4), thread_sizes=(4,))
+        text = result.render()
+        assert "Design-space exploration" in text
+        assert "2c2w4t" in text or "2c4w4t" in text

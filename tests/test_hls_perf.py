@@ -1,0 +1,102 @@
+"""Tests for the HLS pipeline performance model."""
+
+import numpy as np
+import pytest
+
+from repro.hls import HLSBackend, STRATIX10_SX2800, classify_kernel
+from repro.hls.perf import estimate_cycles
+from repro.ocl import (
+    Context,
+    GLOBAL_FLOAT32,
+    GLOBAL_INT32,
+    INT32,
+    KernelBuilder,
+    NDRange,
+    interpret,
+)
+
+
+def _streaming_kernel():
+    b = KernelBuilder("stream")
+    x = b.param("x", GLOBAL_FLOAT32)
+    y = b.param("y", GLOBAL_FLOAT32)
+    gid = b.global_id(0)
+    b.store(y, gid, b.mul(b.load(x, gid), 2.0))
+    return b.finish()
+
+
+def _estimate(kernel, args, n, local=16):
+    ndr = NDRange.create(n, local)
+    run = interpret(kernel, args, ndr)
+    return estimate_cycles(kernel, classify_kernel(kernel), ndr, run)
+
+
+class TestPipelineModel:
+    def test_cycles_scale_with_items(self):
+        kernel = _streaming_kernel()
+        small = _estimate(kernel, [np.zeros(64, np.float32),
+                                   np.zeros(64, np.float32)], 64)
+        big = _estimate(kernel, [np.zeros(1024, np.float32),
+                                 np.zeros(1024, np.float32)], 1024)
+        assert big.cycles > small.cycles
+        # Pipelined: roughly one item per cycle once full.
+        assert big.cycles - small.cycles == pytest.approx(1024 - 64, rel=0.2)
+
+    def test_depth_grows_with_kernel_size(self):
+        small = _streaming_kernel()
+
+        b = KernelBuilder("big")
+        x = b.param("x", GLOBAL_FLOAT32)
+        y = b.param("y", GLOBAL_FLOAT32)
+        gid = b.global_id(0)
+        v = b.load(x, gid)
+        for _ in range(20):
+            v = b.add(b.mul(v, 1.5), 0.25)
+        b.store(y, gid, v)
+        big = b.finish()
+
+        args = [np.zeros(64, np.float32), np.zeros(64, np.float32)]
+        assert _estimate(big, args, 64).depth > \
+            _estimate(small, args, 64).depth
+
+    def test_atomics_raise_initiation_interval(self):
+        b = KernelBuilder("atom")
+        bins = b.param("bins", GLOBAL_INT32)
+        b.atomic_add(bins, 0, 1)
+        kernel = b.finish()
+        est = _estimate(kernel, [np.zeros(4, np.int32)], 64)
+        assert est.initiation_interval > 1
+
+    def test_loops_multiply_issue_cycles(self):
+        b = KernelBuilder("looped")
+        out = b.param("out", GLOBAL_FLOAT32)
+        gid = b.global_id(0)
+        acc = b.var("acc", INT32, init=0)
+        with b.for_range(0, 32):
+            acc.set(b.add(acc.get(), 1))
+        b.store(out, gid, b.itof(acc.get()))
+        kernel = b.finish()
+        est = _estimate(kernel, [np.zeros(64, np.float32)], 64)
+        flat = _estimate(_streaming_kernel(),
+                         [np.zeros(64, np.float32),
+                          np.zeros(64, np.float32)], 64)
+        assert est.issue_cycles > flat.issue_cycles * 10
+
+    def test_time_us_uses_fmax(self):
+        kernel = _streaming_kernel()
+        est = _estimate(kernel, [np.zeros(64, np.float32),
+                                 np.zeros(64, np.float32)], 64)
+        assert est.time_us(200.0) == pytest.approx(est.cycles / 200.0)
+
+
+class TestBackendIntegration:
+    def test_launch_reports_model_fields(self):
+        ctx = Context(HLSBackend(device=STRATIX10_SX2800))
+        prog = ctx.program([_streaming_kernel()])
+        x = ctx.buffer(np.arange(128, dtype=np.float32))
+        y = ctx.alloc(128)
+        stats = prog.launch("stream", [x, y], 128, 16)
+        np.testing.assert_allclose(y.read(), np.arange(128) * 2.0)
+        for key in ("pipeline_depth", "initiation_interval", "time_us",
+                    "area"):
+            assert key in stats.extra

@@ -1,0 +1,128 @@
+"""Tests for the OpenCL-style host API (Context / Buffer / Program)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeLaunchError
+from repro.ocl import (
+    Context,
+    GLOBAL_FLOAT32,
+    GLOBAL_INT32,
+    INT32,
+    KernelBuilder,
+    ReferenceBackend,
+)
+
+
+def scale_kernel():
+    b = KernelBuilder("scale")
+    x = b.param("x", GLOBAL_FLOAT32)
+    n = b.param("n", INT32)
+    gid = b.global_id(0)
+    with b.if_(b.lt(gid, n)):
+        b.store(x, gid, b.mul(b.load(x, gid), 2.0))
+    return b.finish()
+
+
+class TestBuffers:
+    def test_buffer_copies_input(self):
+        ctx = Context()
+        data = np.ones(8, dtype=np.float32)
+        buf = ctx.buffer(data)
+        data[0] = 99.0
+        assert buf.read()[0] == 1.0
+
+    def test_buffer_promotes_default_int_dtype(self):
+        ctx = Context()
+        buf = ctx.buffer(np.array([1, 2, 3]))  # int64 on linux
+        assert buf.dtype == np.int32
+
+    def test_buffer_promotes_float64(self):
+        ctx = Context()
+        buf = ctx.buffer(np.array([1.0, 2.0]))
+        assert buf.dtype == np.float32
+
+    def test_alloc_zeroed(self):
+        ctx = Context()
+        buf = ctx.alloc(16, np.int32)
+        assert (buf.read() == 0).all()
+        assert buf.size == 16
+
+    def test_2d_buffer_rejected(self):
+        ctx = Context()
+        with pytest.raises(RuntimeLaunchError):
+            ctx.buffer(np.zeros((4, 4), dtype=np.float32))
+
+    def test_write_shape_checked(self):
+        ctx = Context()
+        buf = ctx.alloc(8)
+        with pytest.raises(RuntimeLaunchError):
+            buf.write(np.zeros(4, dtype=np.float32))
+
+    def test_read_returns_copy(self):
+        ctx = Context()
+        buf = ctx.alloc(4)
+        snapshot = buf.read()
+        snapshot[0] = 5.0
+        assert buf.read()[0] == 0.0
+
+
+class TestProgram:
+    def test_launch_by_name(self):
+        ctx = Context(ReferenceBackend())
+        prog = ctx.program([scale_kernel()])
+        buf = ctx.buffer(np.arange(8, dtype=np.float32))
+        prog.launch("scale", [buf, 8], global_size=8, local_size=4)
+        np.testing.assert_allclose(buf.read(), np.arange(8) * 2.0)
+
+    def test_unknown_kernel_name(self):
+        ctx = Context(ReferenceBackend())
+        prog = ctx.program([scale_kernel()])
+        with pytest.raises(RuntimeLaunchError, match="no kernel named"):
+            prog.launch("nope", [], global_size=4)
+
+    def test_buffer_required_for_pointer_args(self):
+        ctx = Context(ReferenceBackend())
+        prog = ctx.program([scale_kernel()])
+        with pytest.raises(RuntimeLaunchError, match="Buffer"):
+            prog.launch("scale", [np.zeros(8, dtype=np.float32), 8],
+                        global_size=8)
+
+    def test_wrong_arg_count(self):
+        ctx = Context(ReferenceBackend())
+        prog = ctx.program([scale_kernel()])
+        buf = ctx.alloc(8)
+        with pytest.raises(RuntimeLaunchError):
+            prog.launch("scale", [buf], global_size=8)
+
+    def test_multi_kernel_program(self):
+        b = KernelBuilder("init")
+        x = b.param("x", GLOBAL_INT32)
+        b.store(x, b.global_id(0), b.global_id(0))
+        init = b.finish()
+
+        b2 = KernelBuilder("double")
+        y = b2.param("y", GLOBAL_INT32)
+        gid = b2.global_id(0)
+        b2.store(y, gid, b2.mul(b2.load(y, gid), 2))
+        double = b2.finish()
+
+        ctx = Context(ReferenceBackend())
+        prog = ctx.program([init, double])
+        buf = ctx.alloc(8, np.int32)
+        prog.launch("init", [buf], global_size=8)
+        prog.launch("double", [buf], global_size=8)
+        np.testing.assert_array_equal(buf.read(), np.arange(8) * 2)
+
+    def test_stats_surface_printf(self):
+        b = KernelBuilder("p")
+        b.printf("hi %d", b.global_id(0))
+        ctx = Context(ReferenceBackend())
+        prog = ctx.program([b.finish()])
+        stats = prog.launch("p", [], global_size=2)
+        assert stats.printf_output == ["hi 0", "hi 1"]
+        assert stats.backend == "reference"
+
+    def test_default_context_uses_reference_backend(self):
+        ctx = Context()
+        assert ctx.backend.name == "reference"

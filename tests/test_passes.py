@@ -1,0 +1,420 @@
+"""Tests for the middle-end passes: dominators, liveness, CSE, DCE,
+divergence analysis, and loop analysis."""
+
+import numpy as np
+import pytest
+
+from repro.ocl import (
+    GLOBAL_FLOAT32,
+    GLOBAL_INT32,
+    INT32,
+    FLOAT32,
+    KernelBuilder,
+    NDRange,
+    Opcode,
+    interpret,
+    validate,
+)
+from repro.passes import cfg, cse, dce, divergence, liveness, loops
+
+
+def diamond_kernel():
+    b = KernelBuilder("diamond")
+    out = b.param("out", GLOBAL_INT32)
+    v = b.var("v", INT32, init=0)
+    with b.if_else(b.lt(b.global_id(0), 4)) as (t, e):
+        with t:
+            v.set(1)
+        with e:
+            v.set(2)
+    b.store(out, 0, v.get())
+    return b.finish()
+
+
+def loop_kernel():
+    b = KernelBuilder("looped")
+    out = b.param("out", GLOBAL_INT32)
+    acc = b.var("acc", INT32, init=0)
+    with b.for_range(0, 10) as i:
+        acc.set(b.add(acc.get(), i))
+    b.store(out, 0, acc.get())
+    return b.finish()
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        kernel = diamond_kernel()
+        dom = cfg.dominators(kernel)
+        entry = kernel.entry
+        for block in kernel.blocks:
+            assert dom.dominates(entry, block)
+
+    def test_branch_arms_do_not_dominate_merge(self):
+        kernel = diamond_kernel()
+        dom = cfg.dominators(kernel)
+        then_bb = kernel.entry.successors[0]
+        else_bb = kernel.entry.successors[1]
+        merge = then_bb.successors[0]
+        assert not dom.dominates(then_bb, merge)
+        assert not dom.dominates(else_bb, merge)
+        assert dom.idom[id(merge)] is kernel.entry
+
+    def test_loop_header_dominates_body(self):
+        kernel = loop_kernel()
+        dom = cfg.dominators(kernel)
+        info = loops.analyze(kernel)
+        assert len(info.loops) == 1
+        loop = info.loops[0]
+        for bid in loop.blocks:
+            block = info._blocks_by_id[bid]
+            assert dom.dominates(loop.header, block)
+
+    def test_preorder_visits_parents_first(self):
+        kernel = loop_kernel()
+        dom = cfg.dominators(kernel)
+        seen = set()
+        for block in dom.preorder():
+            parent = dom.idom[id(block)]
+            assert parent is block or id(parent) in seen
+            seen.add(id(block))
+
+
+class TestPostdominators:
+    def test_merge_postdominates_branch(self):
+        kernel = diamond_kernel()
+        pdom = cfg.postdominators(kernel)
+        then_bb = kernel.entry.successors[0]
+        merge = then_bb.successors[0]
+        assert pdom.immediate(kernel.entry) is merge
+
+    def test_ret_block_has_virtual_ipdom(self):
+        kernel = diamond_kernel()
+        pdom = cfg.postdominators(kernel)
+        ret_block = [b for b in kernel.blocks
+                     if b.terminator.op is Opcode.RET][0]
+        assert pdom.immediate(ret_block) is None
+
+
+class TestLoops:
+    def test_single_loop_detected_with_trip_count(self):
+        kernel = loop_kernel()
+        info = loops.analyze(kernel)
+        assert len(info.loops) == 1
+        assert info.loops[0].trip_count == 10
+        assert info.loops[0].depth == 1
+
+    def test_nested_loops_depth(self):
+        b = KernelBuilder("nested")
+        out = b.param("out", GLOBAL_INT32)
+        acc = b.var("acc", INT32, init=0)
+        with b.for_range(0, 3):
+            with b.for_range(0, 4):
+                acc.set(b.add(acc.get(), 1))
+        b.store(out, 0, acc.get())
+        kernel = b.finish()
+        info = loops.analyze(kernel)
+        assert len(info.loops) == 2
+        inner = min(info.loops, key=lambda l: len(l.blocks))
+        outer = max(info.loops, key=lambda l: len(l.blocks))
+        assert inner.parent is outer
+        assert inner.depth == 2 and outer.depth == 1
+        assert inner.trip_count == 4 and outer.trip_count == 3
+
+    def test_dynamic_bound_has_no_trip_count(self):
+        b = KernelBuilder("dyn")
+        n = b.param("n", INT32)
+        out = b.param("out", GLOBAL_INT32)
+        acc = b.var("acc", INT32, init=0)
+        with b.for_range(0, n):
+            acc.set(b.add(acc.get(), 1))
+        b.store(out, 0, acc.get())
+        kernel = b.finish()
+        info = loops.analyze(kernel)
+        assert info.loops[0].trip_count is None
+
+    def test_negative_step_trip_count(self):
+        b = KernelBuilder("down")
+        out = b.param("out", GLOBAL_INT32)
+        acc = b.var("acc", INT32, init=0)
+        with b.for_range(10, 0, step=-2):
+            acc.set(b.add(acc.get(), 1))
+        b.store(out, 0, acc.get())
+        kernel = b.finish()
+        info = loops.analyze(kernel)
+        assert info.loops[0].trip_count == 5
+
+    def test_exit_branches_found(self):
+        kernel = loop_kernel()
+        info = loops.analyze(kernel)
+        exits = info.exit_branches(info.loops[0])
+        assert len(exits) == 1
+        assert exits[0].op is Opcode.CBR
+
+
+class TestCSE:
+    def test_merges_duplicate_arithmetic(self):
+        b = KernelBuilder("dup")
+        x = b.param("x", GLOBAL_FLOAT32)
+        out = b.param("out", GLOBAL_FLOAT32)
+        gid = b.global_id(0)
+        v1 = b.mul(b.load(x, gid), 2.0)
+        v2 = b.mul(b.load(x, gid), 2.0)  # duplicate load and multiply
+        b.store(out, gid, b.add(v1, v2))
+        kernel = b.finish()
+        before = sum(1 for _ in kernel.instructions())
+        merged = cse.run(kernel)
+        assert merged >= 2  # the duplicate load and the duplicate fmul
+        after = sum(1 for _ in kernel.instructions())
+        assert after < before
+        validate(kernel)
+        # Semantics preserved.
+        x_arr = np.array([3.0, 4.0], dtype=np.float32)
+        out_arr = np.zeros(2, dtype=np.float32)
+        interpret(kernel, [x_arr, out_arr], NDRange.create(2))
+        np.testing.assert_allclose(out_arr, [12.0, 16.0])
+
+    def test_load_not_merged_across_store_to_same_root(self):
+        b = KernelBuilder("aliased")
+        x = b.param("x", GLOBAL_INT32)
+        out = b.param("out", GLOBAL_INT32)
+        v1 = b.load(x, 0)
+        b.store(x, 0, b.add(v1, 1))
+        v2 = b.load(x, 0)  # must NOT merge with v1
+        b.store(out, 0, v2)
+        kernel = b.finish()
+        cse.run(kernel)
+        nloads = sum(1 for i in kernel.instructions() if i.op is Opcode.LOAD)
+        assert nloads == 2
+        x_arr = np.array([5], dtype=np.int32)
+        out_arr = np.zeros(1, dtype=np.int32)
+        interpret(kernel, [x_arr, out_arr], NDRange.create(1))
+        assert out_arr[0] == 6
+
+    def test_load_merged_across_store_to_other_root(self):
+        b = KernelBuilder("noalias")
+        x = b.param("x", GLOBAL_INT32)
+        y = b.param("y", GLOBAL_INT32)
+        out = b.param("out", GLOBAL_INT32)
+        v1 = b.load(x, 0)
+        b.store(y, 0, v1)
+        v2 = b.load(x, 0)  # merges: stores to y don't alias x
+        b.store(out, 0, v2)
+        kernel = b.finish()
+        cse.run(kernel)
+        nloads = sum(1 for i in kernel.instructions() if i.op is Opcode.LOAD)
+        assert nloads == 1
+
+    def test_barrier_invalidates_local_loads(self):
+        b = KernelBuilder("tile")
+        tile = b.local_array("tile", INT32, 8)
+        out = b.param("out", GLOBAL_INT32)
+        lid = b.local_id(0)
+        v1 = b.load(tile, 0)
+        b.barrier()
+        v2 = b.load(tile, 0)  # another item may have written tile[0]
+        b.store(out, lid, b.add(v1, v2))
+        kernel = b.finish()
+        cse.run(kernel)
+        nloads = sum(1 for i in kernel.instructions() if i.op is Opcode.LOAD)
+        assert nloads == 2
+
+    def test_workitem_queries_merged(self):
+        b = KernelBuilder("gidtwice")
+        out = b.param("out", GLOBAL_INT32)
+        b.store(out, b.global_id(0), b.global_id(0))
+        kernel = b.finish()
+        cse.run(kernel)
+        ngid = sum(1 for i in kernel.instructions() if i.op is Opcode.GID)
+        assert ngid == 1
+
+    def test_commutative_operands_merge(self):
+        b = KernelBuilder("comm")
+        x = b.param("x", INT32)
+        y = b.param("y", INT32)
+        out = b.param("out", GLOBAL_INT32)
+        v1 = b.add(x, y)
+        v2 = b.add(y, x)
+        b.store(out, 0, b.mul(v1, v2))
+        kernel = b.finish()
+        cse.run(kernel)
+        nadds = sum(1 for i in kernel.instructions() if i.op is Opcode.ADD)
+        assert nadds == 1
+
+    def test_dominator_scoping_prevents_bad_merge(self):
+        # The same expression in two sibling branches must NOT merge,
+        # because neither occurrence dominates the other.
+        b = KernelBuilder("siblings")
+        x = b.param("x", INT32)
+        out = b.param("out", GLOBAL_INT32)
+        with b.if_else(b.lt(b.global_id(0), 2)) as (t, e):
+            with t:
+                b.store(out, 0, b.mul(x, x))
+            with e:
+                b.store(out, 1, b.mul(x, x))
+        kernel = b.finish()
+        cse.run(kernel)
+        nmuls = sum(1 for i in kernel.instructions() if i.op is Opcode.MUL)
+        assert nmuls == 2
+        validate(kernel)
+
+
+class TestDCE:
+    def test_removes_unused_chain(self):
+        b = KernelBuilder("deadchain")
+        x = b.param("x", GLOBAL_FLOAT32)
+        out = b.param("out", GLOBAL_FLOAT32)
+        gid = b.global_id(0)
+        dead1 = b.mul(b.load(x, gid), 3.0)
+        dead2 = b.add(dead1, 1.0)  # noqa: F841 - intentionally unused
+        b.store(out, gid, b.load(x, gid))
+        kernel = b.finish()
+        removed = dce.run(kernel)
+        assert removed >= 3  # mul, add, and the now-dead load feeding them
+        validate(kernel)
+
+    def test_keeps_side_effects(self):
+        b = KernelBuilder("effects")
+        out = b.param("out", GLOBAL_INT32)
+        b.atomic_add(out, 0, 1)  # result unused but effect must stay
+        b.printf("hi")
+        kernel = b.finish()
+        dce.run(kernel)
+        ops = [i.op for i in kernel.instructions()]
+        assert Opcode.ATOMIC_ADD in ops
+        assert Opcode.PRINTF in ops
+
+
+class TestDivergence:
+    def test_gid_divergent_groupid_uniform(self):
+        b = KernelBuilder("k")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        grp = b.group_id(0)
+        b.store(out, gid, grp)
+        kernel = b.finish()
+        info = divergence.analyze(kernel)
+        assert info.is_divergent(gid)
+        assert not info.is_divergent(grp)
+
+    def test_divergent_branch_flagged(self):
+        b = KernelBuilder("k")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        with b.if_(b.lt(gid, 4)):
+            b.store(out, gid, 1)
+        kernel = b.finish()
+        info = divergence.analyze(kernel)
+        cbrs = [i for i in kernel.instructions() if i.op is Opcode.CBR]
+        assert len(cbrs) == 1
+        assert info.branch_is_divergent(cbrs[0])
+
+    def test_uniform_branch_not_flagged(self):
+        b = KernelBuilder("k")
+        out = b.param("out", GLOBAL_INT32)
+        n = b.param("n", INT32)
+        with b.if_(b.lt(n, 4)):
+            b.store(out, 0, 1)
+        kernel = b.finish()
+        info = divergence.analyze(kernel)
+        cbrs = [i for i in kernel.instructions() if i.op is Opcode.CBR]
+        assert not info.branch_is_divergent(cbrs[0])
+
+    def test_load_from_readonly_uniform_index_is_uniform(self):
+        b = KernelBuilder("k")
+        table = b.param("table", GLOBAL_INT32)
+        out = b.param("out", GLOBAL_INT32)
+        v = b.load(table, 0)
+        b.store(out, b.global_id(0), v)
+        kernel = b.finish()
+        info = divergence.analyze(kernel)
+        assert not info.is_divergent(v)
+
+    def test_load_from_written_root_is_divergent(self):
+        b = KernelBuilder("k")
+        buf = b.param("buf", GLOBAL_INT32)
+        out = b.param("out", GLOBAL_INT32)
+        b.store(buf, b.global_id(0), 1)
+        v = b.load(buf, 0)
+        b.store(out, 0, v)
+        kernel = b.finish()
+        info = divergence.analyze(kernel)
+        assert info.is_divergent(v)
+
+    def test_phi_merging_divergent_branch_is_divergent(self):
+        b = KernelBuilder("k")
+        out = b.param("out", GLOBAL_INT32)
+        v = b.var("v", INT32, init=0)
+        with b.if_else(b.lt(b.global_id(0), 2)) as (t, e):
+            with t:
+                v.set(1)
+            with e:
+                v.set(2)
+        b.store(out, 0, v.get())
+        kernel = b.finish()
+        info = divergence.analyze(kernel)
+        phis = [i for i in kernel.instructions() if i.op is Opcode.PHI]
+        assert len(phis) == 1
+        assert info.is_divergent(phis[0])
+
+    def test_uniform_loop_counter_stays_uniform(self):
+        b = KernelBuilder("k")
+        n = b.param("n", INT32)
+        out = b.param("out", GLOBAL_INT32)
+        acc = b.var("acc", INT32, init=0)
+        with b.for_range(0, n) as i:
+            acc.set(b.add(acc.get(), i))
+        b.store(out, b.global_id(0), acc.get())
+        kernel = b.finish()
+        info = divergence.analyze(kernel)
+        phis = [i for i in kernel.instructions() if i.op is Opcode.PHI]
+        assert phis and all(not info.is_divergent(p) for p in phis)
+
+    def test_divergent_loop_bound_marks_counter(self):
+        b = KernelBuilder("k")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        acc = b.var("acc", INT32, init=0)
+        with b.for_range(0, gid) as i:
+            acc.set(b.add(acc.get(), i))
+        b.store(out, gid, acc.get())
+        kernel = b.finish()
+        info = divergence.analyze(kernel)
+        phis = [i for i in kernel.instructions() if i.op is Opcode.PHI]
+        assert all(info.is_divergent(p) for p in phis)
+
+
+class TestLiveness:
+    def test_param_live_into_use_block(self):
+        kernel = diamond_kernel()
+        lv = liveness.analyze(kernel)
+        # out param is used in the final store, so it is live-in at entry
+        # (params enter in registers at the entry block).
+        out_param = kernel.params[0]
+        merge = kernel.entry.successors[0].successors[0]
+        assert id(out_param) in lv.live_in[id(merge)]
+
+    def test_loop_carried_value_live_around_backedge(self):
+        kernel = loop_kernel()
+        lv = liveness.analyze(kernel)
+        info = loops.analyze(kernel)
+        loop = info.loops[0]
+        header_phis = list(loop.header.phis())
+        assert header_phis
+        latch = loop.latches[0]
+        # The accumulator phi is used by the latch increment, so it is
+        # live-out of the header and live-in to the body/latch.
+        for phi in header_phis:
+            assert id(phi) in lv.live_out[id(loop.header)] or any(
+                id(phi) in lv.live_in[id(info._blocks_by_id[b])]
+                for b in loop.blocks
+            )
+
+    def test_dead_value_not_live_out(self):
+        b = KernelBuilder("k")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        tmp = b.add(gid, 1)
+        b.store(out, gid, tmp)
+        kernel = b.finish()
+        lv = liveness.analyze(kernel)
+        assert not any(id(tmp) in s for s in lv.live_out.values())

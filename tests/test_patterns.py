@@ -1,0 +1,153 @@
+"""Tests for the reusable kernel patterns: every factory's output runs
+on the reference interpreter, the Vortex simulator and (where the flow
+supports it) the HLS model, and matches numpy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError, SynthesisError
+from repro.hls import HLSBackend, STRATIX10_MX2100, STRATIX10_SX2800
+from repro.ocl import Context, FLOAT32, INT32, ReferenceBackend, validate
+from repro.ocl.patterns import (
+    build_gather_kernel,
+    build_histogram_kernel,
+    build_inclusive_scan_kernel,
+    build_map_kernel,
+    build_reduction_kernel,
+    build_scatter_kernel,
+)
+from repro.vortex import VortexBackend, VortexConfig
+
+BACKENDS = [
+    ReferenceBackend(),
+    VortexBackend(VortexConfig(cores=2, warps=4, threads=4)),
+    HLSBackend(device=STRATIX10_SX2800),
+]
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+class TestOnAllBackends:
+    def test_map(self, backend):
+        kernel = build_map_kernel(
+            "clip01", FLOAT32,
+            lambda b, v: b.min(b.max(v, b.const(0.0)), b.const(1.0)),
+        )
+        validate(kernel)
+        ctx = Context(backend)
+        prog = ctx.program([kernel])
+        rng = np.random.default_rng(0)
+        data = (rng.random(64, dtype=np.float32) * 3 - 1).astype(np.float32)
+        src = ctx.buffer(data)
+        dst = ctx.alloc(64)
+        prog.launch("clip01", [src, dst, 64], 64, 8)
+        np.testing.assert_allclose(dst.read(), np.clip(data, 0, 1))
+
+    def test_sum_reduction(self, backend):
+        kernel = build_reduction_kernel(
+            "sum8", INT32, lambda b, x, y: b.add(x, y), identity=0,
+            group_size=8,
+        )
+        ctx = Context(backend)
+        prog = ctx.program([kernel])
+        data = np.arange(64, dtype=np.int32)
+        src = ctx.buffer(data)
+        partials = ctx.alloc(8, np.int32)
+        prog.launch("sum8", [src, partials, 64], 64, 8)
+        np.testing.assert_array_equal(
+            partials.read(), data.reshape(8, 8).sum(axis=1))
+
+    def test_max_reduction(self, backend):
+        kernel = build_reduction_kernel(
+            "max8", INT32, lambda b, x, y: b.max(x, y),
+            identity=-(2**31), group_size=8,
+        )
+        ctx = Context(backend)
+        prog = ctx.program([kernel])
+        rng = np.random.default_rng(1)
+        data = rng.integers(-1000, 1000, 64).astype(np.int32)
+        src = ctx.buffer(data)
+        partials = ctx.alloc(8, np.int32)
+        prog.launch("max8", [src, partials, 64], 64, 8)
+        np.testing.assert_array_equal(
+            partials.read(), data.reshape(8, 8).max(axis=1))
+
+    def test_inclusive_scan(self, backend):
+        kernel = build_inclusive_scan_kernel("scan8", INT32, group_size=8)
+        ctx = Context(backend)
+        prog = ctx.program([kernel])
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 10, 32).astype(np.int32)
+        src = ctx.buffer(data)
+        dst = ctx.alloc(32, np.int32)
+        prog.launch("scan8", [src, dst, 32], 32, 8)
+        expected = data.reshape(4, 8).cumsum(axis=1).reshape(-1)
+        np.testing.assert_array_equal(dst.read(), expected)
+
+    def test_gather(self, backend):
+        kernel = build_gather_kernel("gath", FLOAT32)
+        ctx = Context(backend)
+        prog = ctx.program([kernel])
+        rng = np.random.default_rng(3)
+        index = rng.permutation(32).astype(np.int32)
+        data = rng.random(32, dtype=np.float32)
+        out = ctx.alloc(32)
+        prog.launch("gath", [ctx.buffer(index), ctx.buffer(data), out, 32],
+                    32, 8)
+        np.testing.assert_array_equal(out.read(), data[index])
+
+    def test_scatter(self, backend):
+        kernel = build_scatter_kernel("scat", INT32)
+        ctx = Context(backend)
+        prog = ctx.program([kernel])
+        rng = np.random.default_rng(4)
+        index = rng.permutation(32).astype(np.int32)
+        data = np.arange(32, dtype=np.int32)
+        out = ctx.alloc(32, np.int32)
+        prog.launch("scat", [ctx.buffer(index), ctx.buffer(data), out, 32],
+                    32, 8)
+        expected = np.zeros(32, dtype=np.int32)
+        expected[index] = data
+        np.testing.assert_array_equal(out.read(), expected)
+
+
+class TestHistogram:
+    def test_on_vortex(self):
+        kernel = build_histogram_kernel()
+        ctx = Context(VortexBackend(VortexConfig(cores=2, warps=4,
+                                                 threads=4)))
+        prog = ctx.program([kernel])
+        rng = np.random.default_rng(5)
+        vals = rng.integers(0, 8, 128).astype(np.int32)
+        bins = ctx.alloc(8, np.int32)
+        prog.launch("histogram", [ctx.buffer(vals), bins, 128, 8], 128, 8)
+        np.testing.assert_array_equal(bins.read(),
+                                      np.bincount(vals, minlength=8))
+
+    def test_fails_hls_on_hbm_board(self):
+        # The pattern reproduces the hybridsort failure by construction.
+        kernel = build_histogram_kernel()
+        with pytest.raises(SynthesisError) as exc:
+            Context(HLSBackend(device=STRATIX10_MX2100)).program([kernel])
+        assert exc.value.reason == "atomics"
+
+
+class TestValidation:
+    def test_non_power_of_two_group_rejected(self):
+        with pytest.raises(IRError, match="power of two"):
+            build_reduction_kernel("bad", INT32,
+                                   lambda b, x, y: b.add(x, y), 0,
+                                   group_size=6)
+        with pytest.raises(IRError, match="power of two"):
+            build_inclusive_scan_kernel("bad", INT32, group_size=12)
+
+    def test_all_factories_validate(self):
+        for kernel in (
+            build_map_kernel("m", INT32, lambda b, v: b.add(v, 1)),
+            build_reduction_kernel("r", FLOAT32,
+                                   lambda b, x, y: b.add(x, y), 0.0),
+            build_histogram_kernel(),
+            build_inclusive_scan_kernel("s", FLOAT32),
+            build_gather_kernel("g", INT32),
+            build_scatter_kernel("sc", FLOAT32),
+        ):
+            validate(kernel)

@@ -1,0 +1,298 @@
+"""Unit and property tests for the SimX components: memory, DRAM,
+cache, warp state, instruction metadata, and configuration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError, TrapError
+from repro.vortex.isa import Instruction
+from repro.vortex.simx.cache import Cache
+from repro.vortex.simx.config import DDR4_DRAM, HBM2_DRAM, VortexConfig
+from repro.vortex.simx.core import instr_meta
+from repro.vortex.simx.dram import DRAM
+from repro.vortex.simx.mem import Memory
+from repro.vortex.simx.warp import Warp
+
+
+class TestMemory:
+    def test_word_roundtrip(self):
+        mem = Memory(size=4096)
+        mem.write_word(128, -42)
+        assert mem.read_word(128) == -42
+
+    def test_gather_scatter_i32(self):
+        mem = Memory(size=4096)
+        addrs = np.array([0, 8, 16], dtype=np.int64)
+        mem.scatter_i32(addrs, np.array([1, 2, 3], dtype=np.int32))
+        np.testing.assert_array_equal(mem.gather_i32(addrs), [1, 2, 3])
+
+    def test_gather_f32_bit_faithful(self):
+        mem = Memory(size=4096)
+        vals = np.array([1.5, -2.25, 3e-8], dtype=np.float32)
+        addrs = np.array([4, 8, 12], dtype=np.int64)
+        mem.scatter_f32(addrs, vals)
+        np.testing.assert_array_equal(mem.gather_f32(addrs), vals)
+
+    def test_unaligned_access_traps(self):
+        mem = Memory(size=4096)
+        with pytest.raises(TrapError, match="unaligned"):
+            mem.gather_i32(np.array([2], dtype=np.int64))
+
+    def test_out_of_range_traps(self):
+        mem = Memory(size=4096)
+        with pytest.raises(TrapError, match="out of range"):
+            mem.read_word(4096)
+        with pytest.raises(TrapError):
+            mem.gather_i32(np.array([-4], dtype=np.int64))
+
+    def test_cstring(self):
+        mem = Memory(size=4096)
+        mem.write_bytes(100, b"hello\x00world")
+        assert mem.read_cstring(100) == "hello"
+
+    def test_unterminated_cstring_traps(self):
+        mem = Memory(size=256)
+        mem.write_bytes(0, b"\x01" * 256)
+        with pytest.raises(TrapError, match="unterminated"):
+            mem.read_cstring(0)
+
+
+class TestDRAM:
+    def test_row_hit_cheaper_than_miss(self):
+        dram = DRAM(DDR4_DRAM, line_size=64)
+        t1 = dram.access(0, now=0)  # cold: row miss
+        t2 = dram.access(64 * DDR4_DRAM.banks, now=t1)  # same bank+row
+        assert (t2 - t1) < t1
+        assert dram.stats.row_hits >= 1
+
+    def test_bank_serialisation(self):
+        dram = DRAM(DDR4_DRAM, line_size=64)
+        # Two back-to-back requests to the same bank serialise.
+        t1 = dram.access(0, now=0)
+        t2 = dram.access(64 * DDR4_DRAM.banks * DDR4_DRAM.lines_per_row * 7,
+                         now=0)
+        assert t2 > t1  # second waits for the bank + pays a row miss
+
+    def test_different_banks_parallel(self):
+        dram = DRAM(DDR4_DRAM, line_size=64)
+        t1 = dram.access(0, now=0)
+        t2 = dram.access(64, now=0)  # adjacent line -> different bank
+        assert t2 == t1  # same service time, in parallel
+
+    def test_completion_monotone_in_now(self):
+        dram = DRAM(DDR4_DRAM, line_size=64)
+        t_early = dram.access(0, now=0)
+        dram2 = DRAM(DDR4_DRAM, line_size=64)
+        t_late = dram2.access(0, now=1000)
+        assert t_late > t_early
+
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=50))
+    @settings(max_examples=25, deadline=None)
+    def test_completions_always_after_request(self, line_addrs):
+        dram = DRAM(DDR4_DRAM, line_size=64)
+        now = 0
+        for addr in line_addrs:
+            done = dram.access(addr * 64, now)
+            assert done > now
+            now += 1
+
+    def test_row_table_evicts_deterministically(self):
+        d1 = DRAM(DDR4_DRAM, line_size=64)
+        d2 = DRAM(DDR4_DRAM, line_size=64)
+        seq = [i * 64 * DDR4_DRAM.banks * DDR4_DRAM.lines_per_row
+               for i in range(20)]
+        for a in seq:
+            d1.access(a, 0)
+            d2.access(a, 0)
+        assert d1.open_rows == d2.open_rows
+
+    def test_hbm_profile_has_more_banks(self):
+        assert HBM2_DRAM.banks > DDR4_DRAM.banks
+
+
+class TestCache:
+    def test_hit_after_fill(self):
+        c = Cache(size=1024, ways=2, line_size=64)
+        assert not c.lookup(0)
+        c.fill(0)
+        assert c.lookup(0)
+
+    def test_lru_eviction(self):
+        c = Cache(size=256, ways=2, line_size=64)  # 2 sets x 2 ways
+        # Lines 0, 128, 256 all map to set 0 (line_index % 2 == 0).
+        c.fill(0)
+        c.fill(128)
+        c.lookup(0)  # refresh 0
+        c.fill(256)  # evicts 128 (LRU)
+        assert c.lookup(0)
+        assert not c.lookup(128)
+
+    def test_invalidate_all(self):
+        c = Cache(size=1024, ways=2, line_size=64)
+        c.fill(0)
+        c.invalidate_all()
+        assert not c.lookup(0)
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_stats_consistency(self, lines):
+        c = Cache(size=2048, ways=4, line_size=64)
+        for ln in lines:
+            if not c.lookup(ln * 64):
+                c.fill(ln * 64)
+        assert c.stats.hits + c.stats.misses == len(lines)
+        assert 0.0 <= c.stats.hit_rate <= 1.0
+
+
+class TestWarp:
+    def test_ipdom_lifo(self):
+        w = Warp(0, 4)
+        w.tmask[:] = True
+        w.push_uniform_marker()
+        w.push_divergence(np.array([1, 1, 1, 1], dtype=bool),
+                          np.array([0, 0, 1, 1], dtype=bool), 0x100)
+        top = w.pop_join()
+        assert top.pc == 0x100
+        mid = w.pop_join()
+        assert mid.pc is None and mid.mask is not None
+        marker = w.pop_join()
+        assert marker.uniform
+
+    def test_join_on_empty_stack_raises(self):
+        w = Warp(0, 4)
+        with pytest.raises(SimulationError, match="IPDOM"):
+            w.pop_join()
+
+    def test_tmask_bits_roundtrip(self):
+        w = Warp(0, 8)
+        w.set_tmask_bits(0b10110001)
+        assert w.tmask_bits() == 0b10110001
+
+    def test_first_active_lane(self):
+        w = Warp(0, 8)
+        w.set_tmask_bits(0b00101000)
+        assert w.first_active_lane() == 3
+
+    def test_no_active_lanes_raises(self):
+        w = Warp(0, 4)
+        w.set_tmask_bits(0)
+        with pytest.raises(SimulationError):
+            w.first_active_lane()
+
+    def test_reset_for_group_clears_state(self):
+        w = Warp(0, 4)
+        w.x[5] = 99
+        w.ipdom.append(object())
+        w.reset_for_group(0x1000, np.ones(4, dtype=bool), {1: 2},
+                          np.zeros(4, dtype=np.int32))
+        assert (w.x[5] == 0).all()
+        assert not w.ipdom
+        assert w.pc == 0x1000 and w.active
+
+
+class TestInstrMeta:
+    def test_alu_sources(self):
+        meta = instr_meta(Instruction("add", rd=5, rs1=6, rs2=7))
+        assert meta.srcs_x == (6, 7)
+        assert meta.dst == ("x", 5)
+        assert meta.kind == "alu"
+
+    def test_float_sources(self):
+        meta = instr_meta(Instruction("fadd.s", rd=2, rs1=3, rs2=4))
+        assert meta.srcs_f == (3, 4)
+        assert meta.dst == ("f", 2)
+        assert meta.kind == "fpu"
+
+    def test_load_is_mem(self):
+        meta = instr_meta(Instruction("flw", rd=2, rs1=5, imm=0))
+        assert meta.is_mem
+        assert meta.srcs_x == (5,)
+        assert meta.dst == ("f", 2)
+
+    def test_store_has_no_dst(self):
+        meta = instr_meta(Instruction("sw", rs1=5, rs2=6, imm=0))
+        assert meta.dst is None
+        assert meta.srcs_x == (5, 6)
+
+    def test_amocas_reads_rd(self):
+        meta = instr_meta(Instruction("amocas.w", rd=5, rs1=6, rs2=7))
+        assert 5 in meta.srcs_x
+
+    def test_x0_dst_dropped(self):
+        meta = instr_meta(Instruction("addi", rd=0, rs1=1, imm=4))
+        assert meta.dst is None
+
+    def test_simt_kinds(self):
+        for m in ("tmc", "split", "join", "bar", "pred", "halt"):
+            assert instr_meta(Instruction(m)).kind == "simt"
+
+
+class TestConfig:
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(SimulationError):
+            VortexConfig(threads=0)
+        with pytest.raises(SimulationError):
+            VortexConfig(warps=0)
+
+    def test_with_geometry(self):
+        cfg = VortexConfig()
+        new = cfg.with_geometry(warps=2, threads=16)
+        assert (new.warps, new.threads) == (2, 16)
+        assert new.cores == cfg.cores
+
+    def test_label(self):
+        assert VortexConfig(cores=4, warps=8, threads=2).label() == "4c8w2t"
+
+    def test_hbm_swaps_dram(self):
+        assert VortexConfig().hbm().dram.kind == "hbm2"
+
+
+class TestDeterminism:
+    def test_same_launch_same_cycles(self):
+        import numpy as np
+        from repro.benchmarks import get_benchmark
+        from repro.ocl import Context
+        from repro.vortex import VortexBackend
+
+        def run():
+            bench = get_benchmark("vecadd")
+            ctx = Context(VortexBackend(VortexConfig(cores=2, warps=4,
+                                                     threads=4)))
+            prog = ctx.program(bench.build())
+            rng = np.random.default_rng(0)
+            a = ctx.buffer(rng.random(256, dtype=np.float32))
+            b = ctx.buffer(rng.random(256, dtype=np.float32))
+            c = ctx.alloc(256)
+            return prog.launch("vecadd", [a, b, c, 256], 256, 16).cycles
+
+        assert run() == run()
+
+
+class TestRiscvDivisionSemantics:
+    """RISC-V M-extension corner cases (div-by-zero never traps on the
+    device; the reference interpreter treats it as a kernel bug)."""
+
+    def _run_div(self, a, b, op):
+        import numpy as np
+        from repro.vortex.simx.core import _sdiv, _srem
+
+        x = np.array([a], dtype=np.int32)
+        y = np.array([b], dtype=np.int32)
+        fn = _sdiv if op == "div" else _srem
+        return int(fn(x, y)[0])
+
+    def test_div_by_zero_returns_minus_one(self):
+        assert self._run_div(7, 0, "div") == -1
+
+    def test_rem_by_zero_returns_dividend(self):
+        assert self._run_div(7, 0, "rem") == 7
+
+    def test_int_min_overflow(self):
+        assert self._run_div(-(2**31), -1, "div") == -(2**31)
+        assert self._run_div(-(2**31), -1, "rem") == 0
+
+    def test_truncating_division(self):
+        assert self._run_div(-7, 2, "div") == -3
+        assert self._run_div(-7, 2, "rem") == -1

@@ -1,0 +1,168 @@
+"""Tests for the IR verifier and kernel cloning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError, TypeMismatchError
+from repro.ocl import (
+    BOOL,
+    GLOBAL_FLOAT32,
+    GLOBAL_INT32,
+    INT32,
+    KernelBuilder,
+    NDRange,
+    Opcode,
+    interpret,
+    validate,
+)
+from repro.ocl.ir import Block, Const, Instr, Kernel, clone_kernel
+
+
+def looped_kernel():
+    b = KernelBuilder("looped")
+    out = b.param("out", GLOBAL_INT32)
+    gid = b.global_id(0)
+    acc = b.var("acc", INT32, init=0)
+    with b.for_range(0, 5) as i:
+        with b.if_(b.eq(b.rem(i, 2), 0)):
+            acc.set(b.add(acc.get(), b.mul(i, gid)))
+    b.store(out, gid, acc.get())
+    return b.finish()
+
+
+class TestValidator:
+    def test_builder_output_always_validates(self):
+        validate(looped_kernel())
+
+    def test_missing_terminator_rejected(self):
+        k = Kernel("bad")
+        blk = k.add_block("entry")
+        blk.append(Instr(Opcode.GID, INT32, [], {"dim": 0}, name="g"))
+        with pytest.raises(IRError, match="terminator"):
+            validate(k)
+
+    def test_terminator_mid_block_rejected(self):
+        k = Kernel("bad")
+        blk = k.add_block("entry")
+        # Bypass Block.append's own guard to test the verifier.
+        ret1 = Instr(Opcode.RET, None, [])
+        ret2 = Instr(Opcode.RET, None, [])
+        blk.instrs.extend([ret1, ret2])
+        with pytest.raises(IRError):
+            validate(k)
+
+    def test_foreign_branch_target_rejected(self):
+        k = Kernel("bad")
+        blk = k.add_block("entry")
+        other = Block("foreign")
+        blk.append(Instr(Opcode.BR, None, [], targets=[other]))
+        with pytest.raises(IRError, match="foreign"):
+            validate(k)
+
+    def test_type_mismatch_rejected(self):
+        k = Kernel("bad")
+        blk = k.add_block("entry")
+        c = Const(INT32, 1)
+        f = Const(BOOL, True)
+        blk.append(Instr(Opcode.ADD, INT32, [c, f], name="x"))
+        blk.append(Instr(Opcode.RET, None, []))
+        with pytest.raises(TypeMismatchError):
+            validate(k)
+
+    def test_bad_icmp_predicate_rejected(self):
+        k = Kernel("bad")
+        blk = k.add_block("entry")
+        c = Const(INT32, 1)
+        blk.append(Instr(Opcode.ICMP, BOOL, [c, c], {"pred": "weird"},
+                         name="x"))
+        blk.append(Instr(Opcode.RET, None, []))
+        with pytest.raises(TypeMismatchError, match="predicate"):
+            validate(k)
+
+    def test_use_before_def_rejected(self):
+        k = Kernel("bad")
+        b1 = k.add_block("entry")
+        b2 = k.add_block("next")
+        late = Instr(Opcode.GID, INT32, [], {"dim": 0}, name="late")
+        use = Instr(Opcode.ADD, INT32, [late, Const(INT32, 1)], name="use")
+        b1.append(use)
+        b1.append(Instr(Opcode.BR, None, [], targets=[b2]))
+        b2.append(late)
+        b2.append(Instr(Opcode.RET, None, []))
+        with pytest.raises(IRError, match="before definition"):
+            validate(k)
+
+    def test_duplicate_names_rejected(self):
+        k = Kernel("bad")
+        blk = k.add_block("entry")
+        a = Instr(Opcode.GID, INT32, [], {"dim": 0}, name="same")
+        b = Instr(Opcode.GID, INT32, [], {"dim": 1}, name="same")
+        blk.append(a)
+        blk.append(b)
+        blk.append(Instr(Opcode.RET, None, []))
+        with pytest.raises(IRError, match="duplicate"):
+            validate(k)
+
+
+class TestClone:
+    def test_clone_validates_and_is_disjoint(self):
+        original = looped_kernel()
+        copy = clone_kernel(original)
+        validate(copy)
+        orig_ids = {id(i) for i in original.instructions()}
+        copy_ids = {id(i) for i in copy.instructions()}
+        assert not orig_ids & copy_ids
+        assert {id(b) for b in original.blocks}.isdisjoint(
+            {id(b) for b in copy.blocks})
+
+    def test_clone_shares_params(self):
+        original = looped_kernel()
+        copy = clone_kernel(original)
+        assert copy.params == original.params
+
+    def test_clone_behaves_identically(self):
+        original = looped_kernel()
+        copy = clone_kernel(original)
+        out_a = np.zeros(8, dtype=np.int32)
+        out_b = np.zeros(8, dtype=np.int32)
+        interpret(original, [out_a], NDRange.create(8, 4))
+        interpret(copy, [out_b], NDRange.create(8, 4))
+        np.testing.assert_array_equal(out_a, out_b)
+
+    def test_mutating_clone_leaves_original(self):
+        from repro.passes import cse, dce
+
+        original = looped_kernel()
+        before = sum(1 for _ in original.instructions())
+        copy = clone_kernel(original)
+        cse.run(copy)
+        dce.run(copy)
+        after = sum(1 for _ in original.instructions())
+        assert before == after
+
+    def test_clone_preserves_directives(self):
+        b = KernelBuilder("d")
+        p = b.param("p", GLOBAL_FLOAT32)
+        out = b.param("out", GLOBAL_FLOAT32)
+        v = b.load(p, b.local_id(0), pipelined=True)
+        b.store(out, b.global_id(0), v)
+        original = b.finish()
+        copy = clone_kernel(original)
+        assert len(copy.directives) == 1
+        kinds = set(copy.directives.values())
+        assert kinds == {"pipelined_load"}
+
+    def test_clone_preserves_local_arrays(self):
+        b = KernelBuilder("arr")
+        out = b.param("out", GLOBAL_INT32)
+        tile = b.local_array("tile", INT32, 8)
+        lid = b.local_id(0)
+        b.store(tile, lid, lid)
+        b.barrier()
+        b.store(out, b.global_id(0), b.load(tile, lid))
+        original = b.finish()
+        copy = clone_kernel(original)
+        assert len(copy.arrays) == 1
+        assert copy.arrays[0] is not original.arrays[0]
+        assert copy.arrays[0].size == 8
+        validate(copy)

@@ -1,0 +1,296 @@
+"""Structural tests for the Vortex code generator: divergence lowering,
+wave loops, register allocation, frame layout, and image metadata."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompilationError
+from repro.ocl import (
+    FLOAT32,
+    GLOBAL_FLOAT32,
+    GLOBAL_INT32,
+    INT32,
+    KernelBuilder,
+    NDRange,
+)
+from repro.vortex import compile_kernel
+from repro.vortex.isa import (
+    AT,
+    AT2,
+    AT3,
+    LOOP_MASK_REGS,
+    SP,
+    WAVE_REG,
+    X_ALLOC_FIRST,
+    X_ALLOC_LAST,
+    ZERO,
+)
+from repro.vortex.regalloc import allocate, build_interference, reg_class
+
+
+def _mnemonics(image):
+    return [i.mnemonic for i in image.program.instructions]
+
+
+def guarded_kernel():
+    b = KernelBuilder("guarded")
+    out = b.param("out", GLOBAL_INT32)
+    n = b.param("n", INT32)
+    gid = b.global_id(0)
+    with b.if_(b.lt(gid, n)):
+        b.store(out, gid, gid)
+    return b.finish()
+
+
+class TestDivergenceLowering:
+    def test_divergent_if_emits_split_join(self):
+        image = compile_kernel(guarded_kernel(), NDRange.create(16, 4),
+                               threads=4)
+        ops = _mnemonics(image)
+        assert ops.count("split") == 1
+        assert ops.count("join") == 1
+        # Fused form: the instruction after SPLIT is a beq on x0.
+        idx = ops.index("split")
+        branch = image.program.instructions[idx + 1]
+        assert branch.mnemonic == "beq" and branch.rs2 == ZERO
+
+    def test_uniform_branch_has_no_split(self):
+        b = KernelBuilder("uni")
+        out = b.param("out", GLOBAL_INT32)
+        n = b.param("n", INT32)
+        with b.if_(b.lt(n, 10)):
+            b.store(out, 0, 1)
+        image = compile_kernel(b.finish(), NDRange.create(16, 4), threads=4)
+        assert "split" not in _mnemonics(image)
+        assert "join" not in _mnemonics(image)
+
+    def test_divergent_loop_emits_pred_and_mask_save(self):
+        b = KernelBuilder("divloop")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        acc = b.var("acc", INT32, init=0)
+        with b.for_range(0, gid):
+            acc.set(b.add(acc.get(), 1))
+        b.store(out, gid, acc.get())
+        image = compile_kernel(b.finish(), NDRange.create(16, 4), threads=4)
+        ops = _mnemonics(image)
+        assert "pred" in ops
+        pred = image.program.instructions[ops.index("pred")]
+        assert pred.rs2 in LOOP_MASK_REGS
+        # The mask register is saved from the TMASK CSR before the loop.
+        csrs = [i for i in image.program.instructions
+                if i.mnemonic == "csrrs" and i.rd in LOOP_MASK_REGS]
+        assert len(csrs) == 1
+        # PRED's skip-slot is the loop-exit jump.
+        nxt = image.program.instructions[ops.index("pred") + 1]
+        assert nxt.mnemonic == "jal"
+
+    def test_uniform_loop_has_no_pred(self):
+        b = KernelBuilder("uniloop")
+        out = b.param("out", GLOBAL_INT32)
+        acc = b.var("acc", INT32, init=0)
+        with b.for_range(0, 10):
+            acc.set(b.add(acc.get(), 1))
+        b.store(out, b.global_id(0), acc.get())
+        image = compile_kernel(b.finish(), NDRange.create(16, 4), threads=4)
+        assert "pred" not in _mnemonics(image)
+
+    def test_nested_divergent_loops_use_distinct_mask_regs(self):
+        b = KernelBuilder("nest")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        acc = b.var("acc", INT32, init=0)
+        with b.for_range(0, gid):
+            with b.for_range(0, b.rem(gid, 3)):
+                acc.set(b.add(acc.get(), 1))
+        b.store(out, gid, acc.get())
+        image = compile_kernel(b.finish(), NDRange.create(16, 4), threads=4)
+        preds = [i for i in image.program.instructions
+                 if i.mnemonic == "pred"]
+        assert len(preds) == 2
+        assert preds[0].rs2 != preds[1].rs2
+
+
+class TestWaveLoop:
+    def test_wave_mode_for_barrier_free_kernels(self):
+        image = compile_kernel(guarded_kernel(), NDRange.create(64, 16),
+                               threads=4)
+        assert image.wave_mode
+        ops = _mnemonics(image)
+        # 16-item groups on 4 threads: the wave loop increments x27 by 4.
+        incs = [i for i in image.program.instructions
+                if i.mnemonic == "addi" and i.rd == WAVE_REG
+                and i.rs1 == WAVE_REG]
+        assert len(incs) == 1 and incs[0].imm == 4
+
+    def test_barrier_kernel_uses_warp_sets(self):
+        b = KernelBuilder("bar")
+        out = b.param("out", GLOBAL_INT32)
+        tile = b.local_array("tile", INT32, 16)
+        lid = b.local_id(0)
+        b.store(tile, lid, lid)
+        b.barrier()
+        b.store(out, b.global_id(0), b.load(tile, b.sub(15, lid)))
+        image = compile_kernel(b.finish(), NDRange.create(32, 16), threads=4)
+        assert not image.wave_mode
+        assert "bar" in _mnemonics(image)
+
+    def test_single_full_wave_has_no_loop(self):
+        image = compile_kernel(guarded_kernel(), NDRange.create(64, 4),
+                               threads=4)
+        assert image.wave_mode
+        incs = [i for i in image.program.instructions
+                if i.mnemonic == "addi" and i.rd == WAVE_REG
+                and i.rs1 == WAVE_REG]
+        assert not incs  # group size == T: one wave, no loop
+
+    def test_partial_wave_emits_tmc(self):
+        image = compile_kernel(guarded_kernel(), NDRange.create(36, 6),
+                               threads=4)
+        assert "tmc" in _mnemonics(image)
+
+    def test_no_threads_disables_wave_mode(self):
+        image = compile_kernel(guarded_kernel(), NDRange.create(16, 4))
+        assert not image.wave_mode
+
+
+class TestRegisterAllocation:
+    def test_reserved_registers_never_allocated(self):
+        b = KernelBuilder("many")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        vals = [b.mul(gid, i + 1) for i in range(20)]
+        acc = b.var("acc", INT32, init=0)
+        for v in vals:
+            acc.set(b.add(acc.get(), v))
+        b.store(out, gid, acc.get())
+        kernel = b.finish()
+        alloc = allocate(kernel)
+        reserved = {ZERO, AT, SP, AT2, AT3, WAVE_REG} | set(LOOP_MASK_REGS)
+        for vid, reg in alloc.regs.items():
+            if alloc.classes[vid] == "x":
+                assert reg not in reserved
+                assert X_ALLOC_FIRST <= reg <= X_ALLOC_LAST
+
+    def test_interfering_values_get_distinct_registers(self):
+        b = KernelBuilder("interf")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        xs = [b.add(gid, i) for i in range(6)]
+        total = xs[0]
+        for x in xs[1:]:
+            total = b.add(total, x)
+        b.store(out, gid, total)
+        kernel = b.finish()
+        alloc = allocate(kernel)
+        adj = build_interference(kernel)
+        values = {id(p): p for p in kernel.params}
+        for ins in kernel.instructions():
+            if ins.ty is not None:
+                values[id(ins)] = ins
+        for vid, neighbours in adj.items():
+            if vid in alloc.spill_slots:
+                continue
+            for nid in neighbours:
+                if nid in alloc.spill_slots:
+                    continue
+                if alloc.classes[vid] == alloc.classes[nid]:
+                    assert alloc.regs[vid] != alloc.regs[nid]
+
+    def test_spill_slots_are_distinct(self):
+        b = KernelBuilder("spill")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        vals = [b.mul(gid, i + 1) for i in range(40)]
+        acc = b.var("acc", INT32, init=0)
+        for v in vals:
+            acc.set(b.add(acc.get(), v))
+        b.store(out, gid, acc.get())
+        alloc = allocate(b.finish())
+        slots = list(alloc.spill_slots.values())
+        assert len(slots) == len(set(slots))
+        assert alloc.spill_bytes == 4 * len(slots)
+        assert slots  # this kernel must actually spill
+
+    def test_float_and_int_files_independent(self):
+        b = KernelBuilder("mixed")
+        out = b.param("out", GLOBAL_FLOAT32)
+        gid = b.global_id(0)
+        f = b.itof(gid)
+        g = b.mul(f, 2.0)
+        b.store(out, gid, g)
+        kernel = b.finish()
+        alloc = allocate(kernel)
+        classes = set(alloc.classes.values())
+        assert classes == {"x", "f"}
+
+
+class TestFrameAndImage:
+    def test_private_array_frame_offsets(self):
+        b = KernelBuilder("priv")
+        out = b.param("out", GLOBAL_INT32)
+        s1 = b.private_array("s1", INT32, 4)
+        s2 = b.private_array("s2", FLOAT32, 6)
+        b.store(s1, 0, 1)
+        b.store(s2, 0, 1.0)
+        b.store(out, b.global_id(0), b.load(s1, 0))
+        image = compile_kernel(b.finish(), NDRange.create(16, 4), threads=4)
+        offsets = sorted(image.frame.private_offsets.values())
+        assert offsets[0] == 0
+        assert offsets[1] >= 16  # 4 ints, aligned
+        assert image.frame.size >= 16 + 24
+
+    def test_local_arrays_get_window_offsets(self):
+        b = KernelBuilder("loc")
+        out = b.param("out", GLOBAL_INT32)
+        t1 = b.local_array("t1", INT32, 8)
+        t2 = b.local_array("t2", INT32, 8)
+        lid = b.local_id(0)
+        b.store(t1, lid, lid)
+        b.barrier()
+        b.store(out, b.global_id(0), b.load(t2, lid))
+        image = compile_kernel(b.finish(), NDRange.create(16, 4), threads=4)
+        assert image.local_window_bytes == 64
+        assert sorted(image.local_offsets.values()) == [0, 32]
+
+    def test_oversized_frame_rejected(self):
+        b = KernelBuilder("hugepriv")
+        out = b.param("out", GLOBAL_INT32)
+        big = b.private_array("big", INT32, 2000)
+        b.store(big, 0, 1)
+        b.store(out, 0, b.load(big, 0))
+        with pytest.raises(CompilationError, match="stack"):
+            compile_kernel(b.finish(), NDRange.create(4, 4), threads=4)
+
+    def test_printf_format_table(self):
+        b = KernelBuilder("pf")
+        b.printf("a %d", b.global_id(0))
+        b.printf("b %f", b.const(1.0))
+        b.printf("a %d", b.global_id(0))  # duplicate fmt -> one entry
+        image = compile_kernel(b.finish(), NDRange.create(4, 4), threads=4)
+        assert len(image.fmt_table) == 2
+
+    def test_image_reports_static_size(self):
+        image = compile_kernel(guarded_kernel(), NDRange.create(16, 4),
+                               threads=4)
+        assert image.num_instructions == len(image.program.instructions)
+        assert image.program.size_bytes == 4 * image.num_instructions
+
+
+class TestGeometrySpecialization:
+    def test_local_size_becomes_constant(self):
+        b = KernelBuilder("ls")
+        out = b.param("out", GLOBAL_INT32)
+        b.store(out, b.global_id(0), b.local_size(0))
+        image = compile_kernel(b.finish(), NDRange.create(32, 8), threads=4)
+        # No NDR memory read: the size is a compile-time li.
+        loads = [i for i in image.program.instructions
+                 if i.mnemonic == "lw"]
+        # Only the argument-block load for `out` remains.
+        assert len(loads) == 1
+
+    def test_different_geometry_different_code(self):
+        k = guarded_kernel()
+        img_a = compile_kernel(k, NDRange.create(32, 8), threads=4)
+        img_b = compile_kernel(k, NDRange.create(32, 16), threads=4)
+        assert list(img_a.program.words) != list(img_b.program.words)

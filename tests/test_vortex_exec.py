@@ -1,0 +1,529 @@
+"""Differential tests: every kernel runs on both the reference
+interpreter and the Vortex cycle simulator; results must match bit-for-
+bit (int) or to float32 tolerance. This exercises codegen (divergence
+lowering, register allocation, spilling), the assembler and the whole
+simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompilationError
+from repro.ocl import (
+    FLOAT32,
+    GLOBAL_FLOAT32,
+    GLOBAL_INT32,
+    INT32,
+    Context,
+    KernelBuilder,
+    NDRange,
+    ReferenceBackend,
+    interpret,
+)
+from repro.vortex import VortexBackend, VortexConfig, compile_kernel
+
+SMALL = VortexConfig(cores=2, warps=4, threads=4)
+
+
+def run_both(kernel, arrays, scalars=(), global_size=16, local_size=4,
+             config=SMALL):
+    """Run on interpreter and Vortex; returns (ref_arrays, vx_arrays,
+    vortex LaunchStats)."""
+    ref = [a.copy() for a in arrays]
+    vx = [a.copy() for a in arrays]
+    ndr = NDRange.create(global_size, local_size)
+    interpret(kernel, list(ref) + list(scalars), ndr)
+
+    ctx = Context(VortexBackend(config))
+    prog = ctx.program([kernel])
+    bufs = [ctx.buffer(a) for a in vx]
+    stats = prog.launch(kernel.name, list(bufs) + list(scalars),
+                        global_size, local_size)
+    out = [b.read() for b in bufs]
+    return ref, out, stats
+
+
+def assert_match(ref, vx):
+    for r, v in zip(ref, vx):
+        if r.dtype == np.int32:
+            np.testing.assert_array_equal(v, r)
+        else:
+            np.testing.assert_allclose(v, r, rtol=1e-5, atol=1e-6)
+
+
+class TestStraightLine:
+    def test_int_arithmetic(self):
+        b = KernelBuilder("intops")
+        x = b.param("x", GLOBAL_INT32)
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        v = b.load(x, gid)
+        r = b.add(b.mul(v, 3), b.sub(v, 7))
+        r = b.xor(b.or_(r, 12), b.and_(v, 5))
+        r = b.add(r, b.shl(v, 2))
+        r = b.add(r, b.ashr(v, 1))
+        r = b.add(r, b.lshr(v, 3))
+        r = b.add(r, b.rem(b.abs(v), 7))
+        r = b.add(r, b.min(v, 10))
+        r = b.add(r, b.max(v, -3))
+        b.store(out, gid, r)
+        kernel = b.finish()
+        rng = np.random.default_rng(1)
+        x_arr = rng.integers(-1000, 1000, 16).astype(np.int32)
+        ref, vx, _ = run_both(kernel, [x_arr, np.zeros(16, dtype=np.int32)])
+        assert_match(ref, vx)
+
+    def test_int_division(self):
+        b = KernelBuilder("divs")
+        x = b.param("x", GLOBAL_INT32)
+        y = b.param("y", GLOBAL_INT32)
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        b.store(out, gid, b.div(b.load(x, gid), b.load(y, gid)))
+        kernel = b.finish()
+        x_arr = np.array([7, -7, 100, -100, 5, 2**31 - 1, 0, 13] * 2,
+                         dtype=np.int32)
+        y_arr = np.array([2, 2, -3, -3, 5, 1, 9, -13] * 2, dtype=np.int32)
+        ref, vx, _ = run_both(kernel, [x_arr, y_arr,
+                                       np.zeros(16, dtype=np.int32)])
+        assert_match(ref, vx)
+
+    def test_float_math(self):
+        b = KernelBuilder("fmath")
+        x = b.param("x", GLOBAL_FLOAT32)
+        out = b.param("out", GLOBAL_FLOAT32)
+        gid = b.global_id(0)
+        v = b.load(x, gid)
+        r = b.add(b.mul(v, 1.5), 2.25)
+        r = b.add(r, b.sqrt(b.abs(v)))
+        r = b.add(r, b.exp(b.neg(b.abs(v))))
+        r = b.add(r, b.sin(v))
+        r = b.add(r, b.cos(v))
+        r = b.add(r, b.floor(v))
+        r = b.add(r, b.min(v, b.const(0.5)))
+        r = b.add(r, b.max(v, b.const(-0.5)))
+        b.store(out, gid, r)
+        kernel = b.finish()
+        rng = np.random.default_rng(2)
+        x_arr = (rng.random(16, dtype=np.float32) * 4 - 2).astype(np.float32)
+        ref, vx, _ = run_both(kernel, [x_arr, np.zeros(16, dtype=np.float32)])
+        assert_match(ref, vx)
+
+    def test_conversions_and_select(self):
+        b = KernelBuilder("convsel")
+        x = b.param("x", GLOBAL_FLOAT32)
+        out = b.param("out", GLOBAL_INT32)
+        fout = b.param("fout", GLOBAL_FLOAT32)
+        gid = b.global_id(0)
+        v = b.load(x, gid)
+        i = b.ftoi(v)
+        cond = b.gt(v, 0.0)
+        b.store(out, gid, b.select(cond, i, b.neg(i)))
+        b.store(fout, gid, b.select(cond, v, b.const(-1.0)))
+        kernel = b.finish()
+        x_arr = np.array([1.7, -2.3, 0.0, 5.9, -0.4, 3.2, -8.8, 2.5] * 2,
+                         dtype=np.float32)
+        ref, vx, _ = run_both(
+            kernel,
+            [x_arr, np.zeros(16, dtype=np.int32),
+             np.zeros(16, dtype=np.float32)],
+        )
+        assert_match(ref, vx)
+
+
+class TestDivergence:
+    def test_divergent_if(self):
+        b = KernelBuilder("divif")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        with b.if_(b.eq(b.rem(gid, 2), 0)):
+            b.store(out, gid, b.mul(gid, 10))
+        kernel = b.finish()
+        ref, vx, stats = run_both(kernel, [np.full(16, -1, dtype=np.int32)])
+        assert_match(ref, vx)
+
+    def test_divergent_if_else(self):
+        b = KernelBuilder("divifelse")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        v = b.var("v", INT32)
+        with b.if_else(b.lt(b.rem(gid, 4), 2)) as (t, e):
+            with t:
+                v.set(b.add(gid, 100))
+            with e:
+                v.set(b.sub(gid, 100))
+        b.store(out, gid, v.get())
+        kernel = b.finish()
+        ref, vx, _ = run_both(kernel, [np.zeros(16, dtype=np.int32)])
+        assert_match(ref, vx)
+
+    def test_nested_divergent_ifs(self):
+        b = KernelBuilder("nestdiv")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        v = b.var("v", INT32, init=0)
+        with b.if_(b.lt(b.rem(gid, 4), 3)):
+            v.set(1)
+            with b.if_else(b.eq(b.rem(gid, 2), 0)) as (t, e):
+                with t:
+                    v.set(b.add(v.get(), 10))
+                with e:
+                    v.set(b.add(v.get(), 20))
+        b.store(out, gid, v.get())
+        kernel = b.finish()
+        ref, vx, _ = run_both(kernel, [np.zeros(16, dtype=np.int32)])
+        assert_match(ref, vx)
+
+    def test_divergent_trip_count_loop(self):
+        # Each thread loops gid times: classic PRED lowering.
+        b = KernelBuilder("divloop")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        acc = b.var("acc", INT32, init=0)
+        with b.for_range(0, gid) as i:
+            acc.set(b.add(acc.get(), i))
+        b.store(out, gid, acc.get())
+        kernel = b.finish()
+        ref, vx, _ = run_both(kernel, [np.zeros(16, dtype=np.int32)])
+        assert_match(ref, vx)
+
+    def test_divergent_while(self):
+        # Collatz step counts diverge per lane.
+        b = KernelBuilder("collatz")
+        x = b.param("x", GLOBAL_INT32)
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        n = b.var("n", INT32, init=b.load(x, gid))
+        steps = b.var("steps", INT32, init=0)
+        with b.while_(lambda: b.gt(n.get(), 1)):
+            with b.if_else(b.eq(b.rem(n.get(), 2), 0)) as (even, odd):
+                with even:
+                    n.set(b.div(n.get(), 2))
+                with odd:
+                    n.set(b.add(b.mul(n.get(), 3), 1))
+            steps.set(b.add(steps.get(), 1))
+        b.store(out, gid, steps.get())
+        kernel = b.finish()
+        x_arr = np.array([1, 2, 3, 4, 5, 6, 7, 27, 9, 10, 11, 12, 13, 14,
+                          15, 16], dtype=np.int32)
+        ref, vx, _ = run_both(kernel, [x_arr, np.zeros(16, dtype=np.int32)])
+        assert_match(ref, vx)
+
+    def test_divergent_loop_inside_divergent_if(self):
+        b = KernelBuilder("divdiv")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        acc = b.var("acc", INT32, init=0)
+        with b.if_(b.gt(b.rem(gid, 4), 0)):
+            with b.for_range(0, b.rem(gid, 4)) as i:
+                acc.set(b.add(acc.get(), b.add(i, 1)))
+        b.store(out, gid, acc.get())
+        kernel = b.finish()
+        ref, vx, _ = run_both(kernel, [np.zeros(16, dtype=np.int32)])
+        assert_match(ref, vx)
+
+    def test_uniform_loop_with_divergent_body(self):
+        b = KernelBuilder("unidiv")
+        out = b.param("out", GLOBAL_INT32)
+        n = b.param("n", INT32)
+        gid = b.global_id(0)
+        acc = b.var("acc", INT32, init=0)
+        with b.for_range(0, n) as i:
+            with b.if_(b.eq(b.rem(b.add(gid, i), 2), 0)):
+                acc.set(b.add(acc.get(), 1))
+        b.store(out, gid, acc.get())
+        kernel = b.finish()
+        ref, vx, _ = run_both(kernel, [np.zeros(16, dtype=np.int32)],
+                              scalars=(7,))
+        assert_match(ref, vx)
+
+    def test_divergent_continue(self):
+        b = KernelBuilder("divcont")
+        out = b.param("out", GLOBAL_INT32)
+        n = b.param("n", INT32)
+        gid = b.global_id(0)
+        acc = b.var("acc", INT32, init=0)
+        with b.for_range(0, n) as i:
+            with b.if_(b.eq(b.rem(b.add(i, gid), 3), 0)):
+                b.continue_()
+            acc.set(b.add(acc.get(), i))
+        b.store(out, gid, acc.get())
+        kernel = b.finish()
+        ref, vx, _ = run_both(kernel, [np.zeros(16, dtype=np.int32)],
+                              scalars=(9,))
+        assert_match(ref, vx)
+
+    def test_divergent_break_rejected(self):
+        b = KernelBuilder("divbreak")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        with b.for_range(0, 10) as i:
+            with b.if_(b.eq(i, gid)):
+                b.break_()
+        b.store(out, gid, gid)
+        kernel = b.finish()
+        with pytest.raises(CompilationError, match="divergent"):
+            compile_kernel(kernel, NDRange.create(16, 4))
+
+
+class TestBarriersAndLocal:
+    def test_tile_reverse_multi_warp_group(self):
+        # Group of 16 items on 4-thread warps: 4 warps cooperate via BAR.
+        b = KernelBuilder("rev16")
+        data = b.param("data", GLOBAL_INT32)
+        out = b.param("out", GLOBAL_INT32)
+        tile = b.local_array("tile", INT32, 16)
+        lid = b.local_id(0)
+        gid = b.global_id(0)
+        b.store(tile, lid, b.load(data, gid))
+        b.barrier()
+        b.store(out, gid, b.load(tile, b.sub(15, lid)))
+        kernel = b.finish()
+        data_arr = np.arange(32, dtype=np.int32)
+        ref, vx, _ = run_both(
+            kernel, [data_arr, np.zeros(32, dtype=np.int32)],
+            global_size=32, local_size=16,
+        )
+        assert_match(ref, vx)
+
+    def test_local_reduction(self):
+        b = KernelBuilder("reduce")
+        data = b.param("data", GLOBAL_FLOAT32)
+        out = b.param("out", GLOBAL_FLOAT32)
+        scratch = b.local_array("scratch", FLOAT32, 8)
+        lid = b.local_id(0)
+        gid = b.global_id(0)
+        grp = b.group_id(0)
+        b.store(scratch, lid, b.load(data, gid))
+        b.barrier()
+        stride = b.var("stride", INT32, init=4)
+        with b.while_(lambda: b.gt(stride.get(), 0)):
+            with b.if_(b.lt(lid, stride.get())):
+                a = b.load(scratch, lid)
+                c = b.load(scratch, b.add(lid, stride.get()))
+                b.store(scratch, lid, b.add(a, c))
+            b.barrier()
+            stride.set(b.div(stride.get(), 2))
+        with b.if_(b.eq(lid, 0)):
+            b.store(out, grp, b.load(scratch, 0))
+        kernel = b.finish()
+        rng = np.random.default_rng(3)
+        data_arr = rng.random(32, dtype=np.float32)
+        ref, vx, _ = run_both(
+            kernel, [data_arr, np.zeros(4, dtype=np.float32)],
+            global_size=32, local_size=8,
+        )
+        assert_match(ref, vx)
+
+    def test_private_array(self):
+        b = KernelBuilder("privk")
+        out = b.param("out", GLOBAL_INT32)
+        scratch = b.private_array("scratch", INT32, 4)
+        gid = b.global_id(0)
+        with b.for_range(0, 4) as i:
+            b.store(scratch, i, b.mul(b.add(gid, 1), i))
+        acc = b.var("acc", INT32, init=0)
+        with b.for_range(0, 4) as i:
+            acc.set(b.add(acc.get(), b.load(scratch, i)))
+        b.store(out, gid, acc.get())
+        kernel = b.finish()
+        ref, vx, _ = run_both(kernel, [np.zeros(16, dtype=np.int32)])
+        assert_match(ref, vx)
+
+
+class TestAtomicsAndPrintf:
+    def test_atomic_histogram(self):
+        b = KernelBuilder("hist")
+        data = b.param("data", GLOBAL_INT32)
+        bins = b.param("bins", GLOBAL_INT32)
+        gid = b.global_id(0)
+        b.atomic_add(bins, b.load(data, gid), 1)
+        kernel = b.finish()
+        rng = np.random.default_rng(4)
+        data_arr = rng.integers(0, 8, 64).astype(np.int32)
+        ref, vx, _ = run_both(
+            kernel, [data_arr, np.zeros(8, dtype=np.int32)],
+            global_size=64, local_size=8,
+        )
+        assert_match(ref, vx)
+
+    def test_atomic_min_max_xchg(self):
+        b = KernelBuilder("amm")
+        data = b.param("data", GLOBAL_INT32)
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        v = b.load(data, gid)
+        b.atomic_min(out, 0, v)
+        b.atomic_max(out, 1, v)
+        kernel = b.finish()
+        rng = np.random.default_rng(5)
+        data_arr = rng.integers(-500, 500, 32).astype(np.int32)
+        init = np.array([2**31 - 1, -(2**31)] + [0] * 6, dtype=np.int32)
+        ref, vx, _ = run_both(kernel, [data_arr, init],
+                              global_size=32, local_size=8)
+        assert_match(ref, vx)
+
+    def test_atomic_cas_spinfree_counter(self):
+        b = KernelBuilder("casinc")
+        cell = b.param("cell", GLOBAL_INT32)
+        outs = b.param("outs", GLOBAL_INT32)
+        gid = b.global_id(0)
+        old = b.atomic_cas(cell, 0, gid, b.add(gid, 1000))
+        b.store(outs, gid, old)
+        kernel = b.finish()
+        # Only the lane whose gid matches the initial cell value can swap;
+        # the values other lanes observe depend on scheduling, so assert
+        # only the schedule-independent facts.
+        ndr = NDRange.create(16, 4)
+        cell_vx = np.array([3], dtype=np.int32)
+        outs_vx = np.zeros(16, dtype=np.int32)
+        ctx = Context(VortexBackend(SMALL))
+        prog = ctx.program([kernel])
+        bufs = [ctx.buffer(cell_vx), ctx.buffer(outs_vx)]
+        prog.launch("casinc", bufs, 16, 4)
+        cell_out = bufs[0].read()
+        outs_out = bufs[1].read()
+        assert cell_out[0] == 1003  # lane 3 swapped
+        assert outs_out[3] == 3  # and observed the original value
+        assert set(np.unique(outs_out)) <= {3, 1003}
+
+    def test_printf_output_matches(self):
+        b = KernelBuilder("pf")
+        gid = b.global_id(0)
+        b.printf("item %d = %.1f", gid, b.mul(b.itof(gid), 0.5))
+        kernel = b.finish()
+        ndr = NDRange.create(4, 4)
+        ref_result = interpret(kernel, [], ndr)
+        ctx = Context(VortexBackend(SMALL))
+        prog = ctx.program([kernel])
+        stats = prog.launch("pf", [], 4, 4)
+        assert sorted(stats.printf_output) == sorted(ref_result.printf_output)
+        assert "item 0 = 0.0" in stats.printf_output
+
+
+class TestRegisterPressure:
+    def test_spilling_many_live_values(self):
+        # Build > 24 simultaneously-live int values to force spills.
+        b = KernelBuilder("spilly")
+        x = b.param("x", GLOBAL_INT32)
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        base = b.load(x, gid)
+        vals = [b.mul(base, i + 1) for i in range(30)]
+        acc = b.var("acc", INT32, init=0)
+        for v in vals:
+            acc.set(b.add(acc.get(), v))
+        b.store(out, gid, acc.get())
+        kernel = b.finish()
+        rng = np.random.default_rng(6)
+        x_arr = rng.integers(-100, 100, 16).astype(np.int32)
+        ref, vx, _ = run_both(kernel, [x_arr, np.zeros(16, dtype=np.int32)])
+        assert_match(ref, vx)
+
+    def test_spilling_many_live_floats(self):
+        b = KernelBuilder("fspilly")
+        x = b.param("x", GLOBAL_FLOAT32)
+        out = b.param("out", GLOBAL_FLOAT32)
+        gid = b.global_id(0)
+        base = b.load(x, gid)
+        vals = [b.mul(base, float(i) * 0.25 + 1.0) for i in range(34)]
+        acc = b.var("acc", FLOAT32, init=0.0)
+        for v in vals:
+            acc.set(b.add(acc.get(), v))
+        b.store(out, gid, acc.get())
+        kernel = b.finish()
+        rng = np.random.default_rng(7)
+        x_arr = rng.random(16, dtype=np.float32)
+        ref, vx, _ = run_both(kernel, [x_arr, np.zeros(16, dtype=np.float32)])
+        assert_match(ref, vx)
+
+
+class TestGeometry:
+    def test_2d_launch(self):
+        b = KernelBuilder("transpose8")
+        src = b.param("src", GLOBAL_FLOAT32)
+        dst = b.param("dst", GLOBAL_FLOAT32)
+        n = b.param("n", INT32)
+        x = b.global_id(0)
+        y = b.global_id(1)
+        b.store(dst, b.add(b.mul(x, n), y), b.load(src, b.add(b.mul(y, n), x)))
+        kernel = b.finish()
+        n_val = 8
+        rng = np.random.default_rng(8)
+        src_arr = rng.random(n_val * n_val, dtype=np.float32)
+        ref = [src_arr.copy(), np.zeros(n_val * n_val, dtype=np.float32)]
+        vx = [src_arr.copy(), np.zeros(n_val * n_val, dtype=np.float32)]
+        ndr = NDRange.create((n_val, n_val), (4, 2))
+        interpret(kernel, ref + [n_val], ndr)
+        ctx = Context(VortexBackend(SMALL))
+        prog = ctx.program([kernel])
+        bufs = [ctx.buffer(a) for a in vx]
+        prog.launch("transpose8", bufs + [n_val], (n_val, n_val), (4, 2))
+        assert_match(ref, [b.read() for b in bufs])
+
+    def test_partial_last_warp(self):
+        # local size 6 on 4-thread warps: second warp half-masked.
+        b = KernelBuilder("partial")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        b.store(out, gid, b.add(gid, 1))
+        kernel = b.finish()
+        ref, vx, _ = run_both(kernel, [np.zeros(12, dtype=np.int32)],
+                              global_size=12, local_size=6)
+        assert_match(ref, vx)
+
+    def test_large_group_ok_without_barrier(self):
+        # Barrier-free kernels use the wave loop: any group size works,
+        # even beyond the warp capacity of the configuration.
+        b = KernelBuilder("big")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        b.store(out, gid, b.mul(gid, 3))
+        kernel = b.finish()
+        ref, vx, _ = run_both(kernel, [np.zeros(32, dtype=np.int32)],
+                              global_size=32, local_size=16,
+                              config=VortexConfig(cores=1, warps=2,
+                                                  threads=4))
+        assert_match(ref, vx)
+
+    def test_barrier_group_too_large_raises(self):
+        # Barrier kernels need every work item resident: the group must
+        # fit in W*T hardware threads.
+        b = KernelBuilder("bigbar")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        b.barrier()
+        b.store(out, gid, 1)
+        kernel = b.finish()
+        ctx = Context(VortexBackend(VortexConfig(cores=1, warps=2, threads=4)))
+        prog = ctx.program([kernel])
+        buf = ctx.buffer(np.zeros(32, dtype=np.int32))
+        from repro.errors import RuntimeLaunchError
+        with pytest.raises(RuntimeLaunchError, match="warps"):
+            prog.launch("bigbar", [buf], 32, 16)
+
+    def test_partial_wave_masking(self):
+        # local size 6 with T=4: waves of 4 then 2 lanes.
+        b = KernelBuilder("partialwave")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        b.store(out, gid, b.add(gid, 7))
+        kernel = b.finish()
+        ref, vx, _ = run_both(kernel, [np.zeros(18, dtype=np.int32)],
+                              global_size=18, local_size=6,
+                              config=VortexConfig(cores=1, warps=2,
+                                                  threads=4))
+        assert_match(ref, vx)
+
+    def test_many_groups_queue_on_few_warps(self):
+        b = KernelBuilder("queued")
+        out = b.param("out", GLOBAL_INT32)
+        gid = b.global_id(0)
+        b.store(out, gid, b.mul(gid, 2))
+        kernel = b.finish()
+        ref, vx, stats = run_both(
+            kernel, [np.zeros(64, dtype=np.int32)],
+            global_size=64, local_size=4,
+            config=VortexConfig(cores=1, warps=2, threads=4),
+        )
+        assert_match(ref, vx)
+        assert stats.extra["groups_dispatched"] == 16

@@ -1,0 +1,164 @@
+"""Tests for the Vortex ISA encoding, assembler, and disassembler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CompilationError
+from repro.vortex.asm import Assembler, disassemble
+from repro.vortex.isa import (
+    CSR,
+    Fmt,
+    Instruction,
+    SPECS,
+    decode,
+    encode,
+    format_instruction,
+)
+
+regs = st.integers(min_value=0, max_value=31)
+
+
+def _imm_strategy(mnemonic):
+    fmt = SPECS[mnemonic].fmt
+    if mnemonic in ("slli", "srli", "srai"):
+        return st.integers(0, 31)
+    if fmt is Fmt.I or fmt is Fmt.S:
+        return st.integers(-2048, 2047)
+    if fmt is Fmt.CSR:
+        return st.sampled_from([int(c) for c in CSR])
+    if fmt is Fmt.B:
+        return st.integers(-2048, 2046).map(lambda x: x * 2)
+    if fmt is Fmt.U:
+        return st.integers(-(2**19), 2**19 - 1)
+    if fmt is Fmt.J:
+        return st.integers(-(2**19), 2**19 - 1).map(lambda x: x * 2)
+    return st.just(0)
+
+
+@st.composite
+def instructions(draw):
+    mnemonic = draw(st.sampled_from(sorted(SPECS)))
+    return Instruction(
+        mnemonic,
+        rd=draw(regs),
+        rs1=draw(regs),
+        rs2=draw(regs) if SPECS[mnemonic].fmt in (Fmt.R, Fmt.S, Fmt.B, Fmt.AMO)
+        else 0,
+        imm=draw(_imm_strategy(mnemonic)),
+    )
+
+
+class TestEncoding:
+    @given(instructions())
+    def test_roundtrip(self, ins):
+        word = encode(ins)
+        assert 0 <= word < 2**32
+        back = decode(word)
+        assert back.mnemonic == ins.mnemonic
+        spec = SPECS[ins.mnemonic]
+        if spec.fmt in (Fmt.R, Fmt.AMO):
+            assert (back.rd, back.rs1, back.rs2) == (ins.rd, ins.rs1, ins.rs2)
+        elif spec.fmt is Fmt.I or spec.fmt is Fmt.CSR:
+            assert (back.rd, back.rs1, back.imm) == (ins.rd, ins.rs1, ins.imm)
+        elif spec.fmt is Fmt.S:
+            assert (back.rs1, back.rs2, back.imm) == (ins.rs1, ins.rs2, ins.imm)
+        elif spec.fmt is Fmt.B:
+            assert (back.rs1, back.rs2, back.imm) == (ins.rs1, ins.rs2, ins.imm)
+        elif spec.fmt is Fmt.U:
+            assert (back.rd, back.imm) == (ins.rd, ins.imm)
+        elif spec.fmt is Fmt.J:
+            assert (back.rd, back.imm) == (ins.rd, ins.imm)
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(CompilationError):
+            Instruction("bogus")
+
+    def test_known_encoding_addi(self):
+        # addi x5, x0, 42 -> imm=42, rs1=0, f3=0, rd=5, op=0010011
+        word = encode(Instruction("addi", rd=5, rs1=0, imm=42))
+        assert word == (42 << 20) | (5 << 7) | 0b0010011
+
+    def test_known_encoding_add(self):
+        word = encode(Instruction("add", rd=1, rs1=2, rs2=3))
+        assert word == (3 << 20) | (2 << 15) | (1 << 7) | 0b0110011
+
+
+class TestAssembler:
+    def test_forward_and_backward_labels(self):
+        asm = Assembler()
+        asm.label("start")
+        asm.emit("addi", rd=5, rs1=0, imm=1)
+        asm.emit("beq", rs1=5, rs2=0, label="end")
+        asm.j("start")
+        asm.label("end")
+        asm.emit("halt")
+        prog = asm.assemble(code_base=0x1000)
+        assert prog.labels["start"] == 0x1000
+        assert prog.labels["end"] == 0x100C
+        beq = prog.instructions[1]
+        assert beq.imm == 0x100C - 0x1004
+        jal = prog.instructions[2]
+        assert jal.imm == 0x1000 - 0x1008
+
+    def test_undefined_label_raises(self):
+        asm = Assembler()
+        asm.j("nowhere")
+        with pytest.raises(CompilationError, match="undefined label"):
+            asm.assemble()
+
+    def test_duplicate_label_raises(self):
+        asm = Assembler()
+        asm.label("a")
+        with pytest.raises(CompilationError, match="duplicate"):
+            asm.label("a")
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_li_materialises_any_constant(self, value):
+        asm = Assembler()
+        asm.li(5, value)
+        prog = asm.assemble()
+        # Simulate the sequence.
+        reg = 0
+        for ins in prog.instructions:
+            if ins.mnemonic == "lui":
+                reg = (ins.imm << 12) & 0xFFFFFFFF
+            elif ins.mnemonic == "addi":
+                reg = (reg + ins.imm) & 0xFFFFFFFF
+        expected = value & 0xFFFFFFFF
+        assert reg == expected
+
+    def test_index_of_pc(self):
+        asm = Assembler()
+        asm.emit("addi", rd=1, rs1=0, imm=0)
+        asm.emit("halt")
+        prog = asm.assemble(code_base=0x2000)
+        assert prog.index_of_pc(0x2000) == 0
+        assert prog.index_of_pc(0x2004) == 1
+        with pytest.raises(CompilationError):
+            prog.index_of_pc(0x2008)
+        with pytest.raises(CompilationError):
+            prog.index_of_pc(0x2002)
+
+
+class TestDisassembler:
+    def test_listing_contains_labels_and_mnemonics(self):
+        asm = Assembler()
+        asm.label("entry")
+        asm.emit("addi", rd=5, rs1=0, imm=7)
+        asm.emit("lw", rd=6, rs1=5, imm=4)
+        asm.emit("fadd.s", rd=2, rs1=3, rs2=4)
+        asm.emit("split", rs1=7)
+        asm.emit("join")
+        asm.emit("halt")
+        text = disassemble(asm.assemble(0x1000))
+        assert "entry:" in text
+        assert "addi x5, x0, 7" in text
+        assert "lw x6, 4(x5)" in text
+        assert "fadd.s f2, f3, f4" in text
+        assert "split x7" in text
+        assert "join" in text
+
+    @given(instructions())
+    def test_format_never_crashes(self, ins):
+        assert isinstance(format_instruction(ins), str)

@@ -1,0 +1,108 @@
+"""Robustness tests for the Vortex flow: trap paths, awkward launch
+geometries, and heavier workload scales."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks import run_benchmark
+from repro.errors import TrapError
+from repro.ocl import (
+    Context,
+    GLOBAL_INT32,
+    INT32,
+    KernelBuilder,
+    NDRange,
+    interpret,
+)
+from repro.vortex import VortexBackend, VortexConfig
+
+SMALL = VortexConfig(cores=2, warps=4, threads=4)
+
+
+class TestTraps:
+    def test_out_of_bounds_store_traps(self):
+        b = KernelBuilder("oob")
+        out = b.param("out", GLOBAL_INT32)
+        # Store far past the heap: beyond device memory entirely.
+        b.store(out, 0x7000_0000 // 4, 1)
+        kernel = b.finish()
+        ctx = Context(VortexBackend(SMALL))
+        prog = ctx.program([kernel])
+        buf = ctx.alloc(4, np.int32)
+        with pytest.raises(TrapError, match="out of range"):
+            prog.launch("oob", [buf], 4, 4)
+
+    def test_negative_index_traps(self):
+        b = KernelBuilder("neg")
+        out = b.param("out", GLOBAL_INT32)
+        n = b.param("n", INT32)
+        b.store(out, b.sub(0, n), 1)
+        kernel = b.finish()
+        ctx = Context(VortexBackend(SMALL))
+        prog = ctx.program([kernel])
+        buf = ctx.alloc(4, np.int32)
+        with pytest.raises(TrapError):
+            prog.launch("neg", [buf, 2**20], 4, 4)
+
+
+class TestAwkwardGeometry:
+    def _roundtrip(self, global_size, local_size, config=SMALL):
+        b = KernelBuilder("geo")
+        out = b.param("out", GLOBAL_INT32)
+        gx = b.global_id(0)
+        gy = b.global_id(1)
+        gz = b.global_id(2)
+        w = b.global_size(0)
+        h = b.global_size(1)
+        idx = b.add(b.add(b.mul(b.mul(gz, h), w), b.mul(gy, w)), gx)
+        packed = b.add(b.add(b.mul(b.local_id(2), 10000),
+                             b.mul(b.local_id(1), 100)), b.local_id(0))
+        b.store(out, idx, packed)
+        kernel = b.finish()
+        ndr = NDRange.create(global_size, local_size)
+        ref = np.zeros(ndr.total_items, dtype=np.int32)
+        interpret(kernel, [ref], ndr)
+        ctx = Context(VortexBackend(config))
+        prog = ctx.program([kernel])
+        buf = ctx.alloc(ndr.total_items, np.int32)
+        prog.launch("geo", [buf], global_size, local_size)
+        np.testing.assert_array_equal(buf.read(), ref)
+
+    def test_non_power_of_two_local_size(self):
+        self._roundtrip(18, 6)
+
+    def test_2d_non_pow2(self):
+        self._roundtrip((6, 4), (3, 2))
+
+    def test_3d_geometry(self):
+        self._roundtrip((4, 2, 2), (2, 2, 1))
+
+    def test_local_size_one(self):
+        self._roundtrip(8, 1)
+
+    def test_group_equals_global(self):
+        self._roundtrip(12, 12)
+
+
+HEAVY = [
+    ("matmul", 2),
+    ("bfs", 2),
+    ("spmv", 2),
+    ("pathfinder", 2),
+    ("hybridsort", 2),
+]
+
+
+@pytest.mark.parametrize("name,scale", HEAVY)
+def test_scaled_benchmarks_on_vortex(name, scale):
+    result = run_benchmark(name, VortexBackend(VortexConfig(cores=2,
+                                                            warps=8,
+                                                            threads=8)),
+                           scale=scale, seed=3)
+    assert result.ok, f"{name}@x{scale}: {result.status} {result.detail}"
+
+
+def test_vecadd_on_hbm_config_validates():
+    result = run_benchmark("vecadd",
+                           VortexBackend(VortexConfig().hbm()), scale=2)
+    assert result.ok, result.detail
