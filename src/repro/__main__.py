@@ -8,6 +8,10 @@ Usage::
     python -m repro table4      # Vortex areas
     python -m repro fig7        # warp/thread sweep (slowest, ~1 min)
     python -m repro all
+
+    # unified profiling of one benchmark on one executor:
+    python -m repro profile vecadd --backend simx
+    python -m repro profile bfs --backend hls --trace-out bfs.trace.json
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ import argparse
 import sys
 
 
-def _table1() -> None:
+def _table1(args: argparse.Namespace | None = None) -> int:
     from .harness import run_coverage
 
     report = run_coverage()
@@ -24,32 +28,36 @@ def _table1() -> None:
     print(f"\nVortex {report.vortex_passes}/28, "
           f"Intel SDK {report.hls_passes}/28; "
           f"matches paper: {report.matches_paper()}")
+    return 0
 
 
-def _table2() -> None:
+def _table2(args: argparse.Namespace | None = None) -> int:
     from .harness import run_auto_cse_ablation, run_case_study
 
     print(run_case_study().render())
     ablation = run_auto_cse_ablation()
     print(f"\nauto-CSE ablation (BRAMs): {ablation}")
+    return 0
 
 
-def _table3() -> None:
+def _table3(args: argparse.Namespace | None = None) -> int:
     from .harness import run_table3
 
     print(run_table3().render())
+    return 0
 
 
-def _table4() -> None:
+def _table4(args: argparse.Namespace | None = None) -> int:
     from .harness import run_table4
 
     report = run_table4()
     print(report.render())
     print(f"\nmax relative error vs paper: "
           f"{report.max_relative_error():.2%}")
+    return 0
 
 
-def _fig7() -> None:
+def _fig7(args: argparse.Namespace | None = None) -> int:
     from .harness import render_comparison, run_sweep
 
     results = []
@@ -59,9 +67,50 @@ def _fig7() -> None:
         print(result.render())
         print()
     print(render_comparison(results))
+    return 0
 
 
-_COMMANDS = {
+def _profile(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .harness import run_profile
+    from .vortex import VortexConfig
+
+    config = None
+    if args.backend == "simx" and (args.cores or args.warps or args.threads):
+        base = VortexConfig()
+        config = base.with_geometry(
+            cores=args.cores or base.cores,
+            warps=args.warps or base.warps,
+            threads=args.threads or base.threads,
+        )
+    try:
+        report, result = run_profile(
+            args.benchmark,
+            backend=args.backend,
+            scale=args.scale,
+            config=config,
+            cycle_bucket=args.bucket,
+            validate=not args.no_validate,
+        )
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    trace_out = args.trace_out or (
+        f"profile_{args.benchmark}_{args.backend}.trace.json")
+    path = report.save_chrome_trace(trace_out)
+    print(f"\nchrome trace written to {path} "
+          f"(open in chrome://tracing or ui.perfetto.dev)")
+    if args.json_out:
+        print(f"summary JSON written to {report.save_json(args.json_out)}")
+    launches = len(result.launches)
+    cycles = result.total_cycles
+    print(f"{launches} launch(es)"
+          + (f", {cycles:,} total cycles" if cycles is not None else ""))
+    return 0
+
+
+_ARTIFACTS = {
     "table1": _table1,
     "table2": _table2,
     "table3": _table3,
@@ -70,20 +119,56 @@ _COMMANDS = {
 }
 
 
-def main(argv: list[str] | None = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the paper's tables and figures.",
+        description="Regenerate the paper's tables and figures, or "
+                    "profile one benchmark on one executor.",
     )
-    parser.add_argument("artifact", choices=sorted(_COMMANDS) + ["all"])
-    args = parser.parse_args(argv)
-    if args.artifact == "all":
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, fn in _ARTIFACTS.items():
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.set_defaults(func=fn)
+    p_all = sub.add_parser("all", help="regenerate every table and figure")
+    p_all.set_defaults(func=None)
+
+    p = sub.add_parser(
+        "profile",
+        help="run one benchmark under the unified profiler and emit a "
+             "text report plus a Chrome-trace JSON file",
+    )
+    p.add_argument("benchmark", help="Table-I benchmark name, e.g. vecadd")
+    p.add_argument("--backend", choices=("interp", "simx", "hls"),
+                   default="simx")
+    p.add_argument("--scale", type=int, default=1,
+                   help="workload scale factor (default 1)")
+    p.add_argument("--cores", type=int, default=0,
+                   help="simx: core count override")
+    p.add_argument("--warps", type=int, default=0,
+                   help="simx: warps-per-core override")
+    p.add_argument("--threads", type=int, default=0,
+                   help="simx: threads-per-warp override")
+    p.add_argument("--bucket", type=int, default=256,
+                   help="simx: cycles per sampling bucket (default 256)")
+    p.add_argument("--trace-out", default="",
+                   help="Chrome-trace output path "
+                        "(default profile_<bench>_<backend>.trace.json)")
+    p.add_argument("--json-out", default="",
+                   help="also write a machine-readable summary JSON")
+    p.add_argument("--no-validate", action="store_true",
+                   help="skip output validation against the numpy reference")
+    p.set_defaults(func=_profile)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "all":
         for name in ("table1", "table2", "table3", "table4", "fig7"):
             print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
-            _COMMANDS[name]()
-    else:
-        _COMMANDS[args.artifact]()
-    return 0
+            _ARTIFACTS[name](None)
+        return 0
+    return args.func(args)
 
 
 if __name__ == "__main__":

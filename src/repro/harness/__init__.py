@@ -3,7 +3,9 @@
 * :mod:`repro.harness.coverage` — Table I (benchmark coverage),
 * :mod:`repro.harness.case_study` — Table II / Fig. 6 (backprop O1/O2),
 * :mod:`repro.harness.area_tables` — Tables III and IV (area reports),
-* :mod:`repro.harness.sweep` — Figure 7 (warp/thread sweep on SimX).
+* :mod:`repro.harness.sweep` — Figure 7 (warp/thread sweep on SimX),
+* :mod:`repro.harness.profile` — unified per-benchmark profiling
+  (``python -m repro profile``).
 """
 
 from .area_tables import (
@@ -22,6 +24,7 @@ from .case_study import (
 )
 from .coverage import PAPER_TABLE1, CoverageReport, run_coverage
 from .dse import Candidate, DSEResult, explore_design_space
+from .profile import PROFILE_BACKENDS, make_profiled_backend, run_profile
 from .sweep import PAPER_FIG7, SweepResult, render_comparison, run_sweep
 from .tables import render_heatmap, render_table
 
@@ -35,16 +38,19 @@ __all__ = [
     "PAPER_TABLE2",
     "PAPER_TABLE3",
     "PAPER_TABLE4",
+    "PROFILE_BACKENDS",
     "SweepResult",
     "Table3Report",
     "Table4Report",
     "explore_design_space",
+    "make_profiled_backend",
     "render_comparison",
     "render_heatmap",
     "render_table",
     "run_auto_cse_ablation",
     "run_case_study",
     "run_coverage",
+    "run_profile",
     "run_sweep",
     "run_table3",
     "run_table4",

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from ..errors import SynthesisError
 from ..hls.device import FPGADevice, STRATIX10_SX2800
+from ..profiling import Profiler, ensure_profiler
 from ..vortex.analytical import KernelProfile, Prediction, predict
 from ..vortex.area import VortexAreaReport, synthesize
 from ..vortex.simx.config import VortexConfig
@@ -96,31 +97,49 @@ def explore_design_space(
     base: VortexConfig | None = None,
     simulate_top: int = 0,
     simulate=None,
+    profiler: Profiler | None = None,
 ) -> DSEResult:
     """Enumerate (C, W, T), filter by area, rank analytically.
 
     ``simulate`` (optional) is a callable ``config -> cycles`` used to
     verify the ``simulate_top`` best-predicted candidates.
+
+    ``profiler`` (optional) records the exploration itself: counters for
+    enumerated/feasible/rejected points and wall-clock spans around the
+    enumeration and each verification simulation.
     """
     base = base or VortexConfig()
+    prof = ensure_profiler(profiler)
     result = DSEResult(device=device)
-    for c in core_counts:
-        for w in warp_sizes:
-            for t in thread_sizes:
-                config = base.with_geometry(cores=c, warps=w, threads=t)
-                try:
-                    area = synthesize(config, device)
-                except SynthesisError as exc:
-                    result.rejected.append(((c, w, t), exc.reason))
-                    continue
-                prediction = predict(profile, config,
-                                     items_per_group=items_per_group)
-                result.candidates.append(
-                    Candidate(config=config, area=area,
-                              prediction=prediction))
+    with prof.span("dse: enumerate+rank", cat="dse"):
+        for c in core_counts:
+            for w in warp_sizes:
+                for t in thread_sizes:
+                    config = base.with_geometry(cores=c, warps=w, threads=t)
+                    if prof.enabled:
+                        prof.count("dse.points")
+                    try:
+                        area = synthesize(config, device)
+                    except SynthesisError as exc:
+                        result.rejected.append(((c, w, t), exc.reason))
+                        if prof.enabled:
+                            prof.count("dse.rejected")
+                            prof.count(f"dse.rejected.{exc.reason}")
+                        continue
+                    prediction = predict(profile, config,
+                                         items_per_group=items_per_group)
+                    if prof.enabled:
+                        prof.count("dse.feasible")
+                    result.candidates.append(
+                        Candidate(config=config, area=area,
+                                  prediction=prediction))
     if simulate_top and simulate is not None:
         ranked = sorted(result.candidates,
                         key=lambda cand: cand.prediction.cycles)
         for cand in ranked[:simulate_top]:
-            cand.simulated_cycles = simulate(cand.config)
+            with prof.span(f"dse: simulate {cand.config.label()}",
+                           cat="dse"):
+                cand.simulated_cycles = simulate(cand.config)
+            if prof.enabled:
+                prof.count("dse.simulated")
     return result

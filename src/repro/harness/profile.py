@@ -1,0 +1,69 @@
+"""Profile one benchmark on one executor and build a unified report.
+
+This is the harness behind ``python -m repro profile``: it wires a
+:class:`~repro.profiling.Profiler` into the chosen backend (reference
+interpreter, SimX cycle simulator, or the HLS pipeline model), runs one
+Table-I benchmark end-to-end through the standard ``run_benchmark``
+driver, and returns the :class:`~repro.profiling.ProfileReport` next to
+the benchmark result, so callers can both inspect counters and save a
+Chrome-trace file.
+"""
+
+from __future__ import annotations
+
+from ..benchmarks import BenchmarkResult, get_benchmark, run_benchmark
+from ..errors import ReproError
+from ..hls import HLSBackend
+from ..ocl.host import ReferenceBackend
+from ..profiling import ProfileReport, Profiler
+from ..vortex import VortexBackend, VortexConfig
+
+#: CLI spelling -> backend factory.
+PROFILE_BACKENDS = ("interp", "simx", "hls")
+
+
+def make_profiled_backend(backend: str, profiler: Profiler,
+                          config: VortexConfig | None = None):
+    """Build a backend of the given kind with ``profiler`` attached."""
+    if backend == "interp":
+        return ReferenceBackend(profiler=profiler)
+    if backend == "simx":
+        return VortexBackend(config or VortexConfig(), profiler=profiler)
+    if backend == "hls":
+        # Profiling is about observing execution; a capacity failure
+        # would only hide the pipeline numbers the user asked for.
+        return HLSBackend(profiler=profiler, enforce_capacity=False)
+    raise ValueError(
+        f"unknown backend {backend!r} (choose from {PROFILE_BACKENDS})")
+
+
+def run_profile(
+    benchmark: str,
+    backend: str = "simx",
+    scale: int = 1,
+    config: VortexConfig | None = None,
+    cycle_bucket: int = Profiler.DEFAULT_CYCLE_BUCKET,
+    validate: bool = True,
+) -> tuple[ProfileReport, BenchmarkResult]:
+    """Run ``benchmark`` once on ``backend`` with profiling enabled."""
+    try:
+        bench = get_benchmark(benchmark)
+    except (ImportError, KeyError) as exc:
+        raise ReproError(f"unknown benchmark {benchmark!r}") from exc
+    profiler = Profiler(cycle_bucket=cycle_bucket)
+    profiler.set_meta("benchmark", bench.table_name)
+    profiler.set_meta("scale", scale)
+    with profiler.span(f"run {bench.name}", cat="harness", pid=1000):
+        result = run_benchmark(
+            bench, make_profiled_backend(backend, profiler, config),
+            scale=scale, validate=validate,
+        )
+    profiler.name_process(1000, "harness (wall-clock, us)")
+    if not result.ok:
+        raise ReproError(
+            f"profiling {benchmark} on {backend} failed: "
+            f"{result.status} {result.detail}"
+        )
+    report = profiler.report(
+        title=f"{bench.name} [{backend}]", backend=backend)
+    return report, result

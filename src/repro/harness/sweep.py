@@ -15,11 +15,13 @@ loses ~44% at 4/4 and ~17% at 8 warps / 4 threads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from ..benchmarks import get_benchmark
 from ..ocl import Context
+from ..profiling import NULL_PROFILER, Profiler
 from ..vortex import VortexBackend, VortexConfig
 from .tables import render_heatmap, render_table
 
@@ -59,9 +61,10 @@ class SweepResult:
         )
 
 
-def _launch_vecadd(config: VortexConfig, n: int) -> "tuple[int, int]":
+def _launch_vecadd(config: VortexConfig, n: int,
+                   profiler: Profiler = NULL_PROFILER) -> "tuple[int, int]":
     bench = get_benchmark("vecadd")
-    ctx = Context(VortexBackend(config))
+    ctx = Context(VortexBackend(config, profiler=profiler))
     prog = ctx.program(bench.build())
     rng = np.random.default_rng(0)
     a = ctx.buffer(rng.random(n, dtype=np.float32))
@@ -72,9 +75,10 @@ def _launch_vecadd(config: VortexConfig, n: int) -> "tuple[int, int]":
     return stats.cycles, stats.extra.get("lsu_replays", 0)
 
 
-def _launch_transpose(config: VortexConfig, dim: int) -> "tuple[int, int]":
+def _launch_transpose(config: VortexConfig, dim: int,
+                      profiler: Profiler = NULL_PROFILER) -> "tuple[int, int]":
     bench = get_benchmark("transpose")
-    ctx = Context(VortexBackend(config))
+    ctx = Context(VortexBackend(config, profiler=profiler))
     prog = ctx.program(bench.build())
     rng = np.random.default_rng(0)
     src = ctx.buffer(rng.random(dim * dim, dtype=np.float32))
@@ -94,23 +98,41 @@ def run_sweep(
     warp_sizes: tuple[int, ...] = WARP_SIZES,
     thread_sizes: tuple[int, ...] = THREAD_SIZES,
     base_config: VortexConfig | None = None,
+    profile_dir: str | Path | None = None,
 ) -> SweepResult:
-    """Sweep one benchmark over the (warps, threads) grid."""
+    """Sweep one benchmark over the (warps, threads) grid.
+
+    When ``profile_dir`` is given, every configuration runs under its own
+    :class:`~repro.profiling.Profiler` and its Chrome trace plus summary
+    JSON land in that directory (``<bench>_w<warps>_t<threads>.*``), so
+    any cell of the Figure 7 heatmap can be inspected cycle by cycle.
+    """
     if benchmark not in ("vecadd", "transpose"):
         raise ValueError("the Figure 7 sweep covers vecadd and transpose")
     base = base_config or VortexConfig()
     result = SweepResult(benchmark=benchmark)
+    if profile_dir is not None:
+        profile_dir = Path(profile_dir)
+        profile_dir.mkdir(parents=True, exist_ok=True)
     for w in warp_sizes:
         for t in thread_sizes:
             config = base.with_geometry(cores=cores, warps=w, threads=t)
+            profiler = NULL_PROFILER if profile_dir is None else Profiler()
             if benchmark == "vecadd":
-                cycles, stalls = _launch_vecadd(config, n)
+                cycles, stalls = _launch_vecadd(config, n, profiler)
             else:
                 dim = int(round(n ** 0.5))
                 dim -= dim % 16
-                cycles, stalls = _launch_transpose(config, max(dim, 16))
+                cycles, stalls = _launch_transpose(
+                    config, max(dim, 16), profiler)
             result.cycles[(w, t)] = cycles
             result.lsu_stalls[(w, t)] = stalls
+            if profile_dir is not None:
+                report = profiler.report(
+                    title=f"{benchmark} w={w} t={t}", backend="simx")
+                stem = profile_dir / f"{benchmark}_w{w}_t{t}"
+                report.save_chrome_trace(stem.with_suffix(".trace.json"))
+                report.save_json(stem.with_suffix(".json"))
     return result
 
 

@@ -55,8 +55,14 @@ class HLSCompiledKernel(CompiledKernel):
         self.area = area
 
     def launch(self, args: list[Any], ndrange: NDRange) -> LaunchStats:
+        profiler = self.backend.profiler
+        if profiler is not None and profiler.enabled:
+            profiler.set_meta("backend", self.backend.name)
+            profiler.set_meta("kernel", self.kernel.name)
+            profiler.set_meta("device", self.backend.device.name)
         run = interpret(self.kernel, args, ndrange)
-        est = estimate_cycles(self.kernel, self.area.lsu_sites, ndrange, run)
+        est = estimate_cycles(self.kernel, self.area.lsu_sites, ndrange, run,
+                              profiler=profiler)
         return LaunchStats(
             kernel_name=self.kernel.name,
             backend=self.backend.name,
@@ -84,10 +90,14 @@ class HLSBackend(DeviceBackend):
         device: FPGADevice = STRATIX10_MX2100,
         auto_cse: bool = False,
         enforce_capacity: bool = True,
+        profiler=None,
     ):
         self.device = device
         self.auto_cse = auto_cse
         self.enforce_capacity = enforce_capacity
+        #: optional :class:`repro.profiling.Profiler`; launches record
+        #: pipeline-stage occupancy and II accounting.
+        self.profiler = profiler
         self.records: list[SynthesisRecord] = []
         self.total = AreaReport()
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from ..ocl.interp import RunResult
 from ..ocl.ir import ATOMIC_OPS, Kernel, Opcode
 from ..ocl.ndrange import NDRange
+from ..profiling import Profiler, ensure_profiler
 from .lsu import LSUKind, LSUSite
 
 #: Words per cycle for a coalesced 512-bit interface (16 x float32).
@@ -63,9 +64,14 @@ def estimate_cycles(
     sites: list[LSUSite],
     ndrange: NDRange,
     run: RunResult,
+    profiler: Profiler | None = None,
 ) -> PipelineEstimate:
     """Estimate the execution cycles of one launch from its dynamic
-    profile (``run`` comes from the functional execution of the launch)."""
+    profile (``run`` comes from the functional execution of the launch).
+
+    When ``profiler`` is enabled, records II accounting, per-LSU-kind
+    memory traffic, and pipeline stage occupancy on a modelled-cycle
+    timeline."""
     static_instrs = sum(1 for _ in kernel.instructions())
     depth = BASE_DEPTH + STAGES_PER_INSTR * static_instrs
 
@@ -96,22 +102,92 @@ def estimate_cycles(
         return STRIDED_CYCLES_PER_WORD
 
     memory_cycles = 0.0
+    #: per-LSU-kind (words, cycles) breakdown, kept for profiling.
+    kind_traffic: dict[str, list[float]] = {}
+
+    def account(kind: LSUKind, words: float) -> float:
+        cost = words * site_cost(kind)
+        entry = kind_traffic.setdefault(kind.value, [0.0, 0.0])
+        entry[0] += words
+        entry[1] += cost
+        return cost
+
     if load_sites_all and loads_dyn:
         per_site = loads_dyn / len(load_sites_all)
         for s in load_sites_all:
-            memory_cycles += per_site * site_cost(s.kind)
+            memory_cycles += account(s.kind, per_site)
     if store_sites_all and stores_dyn:
         per_site = stores_dyn / len(store_sites_all)
         for s in store_sites_all:
-            memory_cycles += per_site * site_cost(s.kind)
+            memory_cycles += account(s.kind, per_site)
     atomics_dyn = sum(run.op_counts.get(op, 0) for op in ATOMIC_OPS)
-    memory_cycles += atomics_dyn * (STRIDED_CYCLES_PER_WORD + ATOMIC_II_PENALTY)
+    atomic_cycles = atomics_dyn * (STRIDED_CYCLES_PER_WORD + ATOMIC_II_PENALTY)
+    memory_cycles += atomic_cycles
 
     cycles = depth + max(issue_cycles, int(memory_cycles))
-    return PipelineEstimate(
+    est = PipelineEstimate(
         depth=depth,
         initiation_interval=ii,
         issue_cycles=issue_cycles,
         memory_cycles=int(memory_cycles),
         cycles=cycles,
     )
+    prof = ensure_profiler(profiler)
+    if prof.enabled:
+        _record_estimate(prof, kernel, est, iterations, kind_traffic,
+                         atomics_dyn, atomic_cycles)
+    return est
+
+
+def _record_estimate(
+    prof: Profiler,
+    kernel: Kernel,
+    est: PipelineEstimate,
+    iterations: int,
+    kind_traffic: dict[str, list[float]],
+    atomics_dyn: int,
+    atomic_cycles: float,
+) -> None:
+    """Fold one pipeline estimate into profiler counters and a modelled
+    timeline: fill, steady-state issue, and the memory interface as
+    overlapping spans, stage occupancy as derived counters."""
+    prof.set_meta("timeline", "modelled pipeline cycles")
+    prof.count_many({
+        "depth": est.depth,
+        "initiation_interval": est.initiation_interval,
+        "iterations": iterations,
+        "issue_cycles": est.issue_cycles,
+        "memory_cycles": est.memory_cycles,
+        "cycles": est.cycles,
+        "atomics": atomics_dyn,
+        "atomic_serialisation_cycles": atomic_cycles,
+    }, prefix="hls.")
+    for kind, (words, cost) in sorted(kind_traffic.items()):
+        prof.count(f"hls.lsu.{kind}.words", words)
+        prof.count(f"hls.lsu.{kind}.cycles", cost)
+    # Occupancy: the fraction of the modelled runtime each bound keeps
+    # its stage busy; the larger one is the reported bottleneck.
+    if est.cycles:
+        prof.count("hls.occupancy.issue", est.issue_cycles / est.cycles)
+        prof.count("hls.occupancy.memory", est.memory_cycles / est.cycles)
+    pid = 0
+    prof.name_process(pid, f"hls pipeline: {kernel.name}")
+    prof.name_thread(pid, 0, "wavefront")
+    prof.name_thread(pid, 1, "issue (II)")
+    prof.name_thread(pid, 2, "memory interface")
+    bottleneck = ("memory" if est.memory_cycles > est.issue_cycles
+                  else "issue")
+    prof.complete("pipeline fill", "hls.stage", ts=0, dur=est.depth,
+                  pid=pid, tid=0, args={"depth": est.depth})
+    prof.complete(
+        "steady-state issue", "hls.stage", ts=est.depth,
+        dur=max(1, est.issue_cycles), pid=pid, tid=1,
+        args={"II": est.initiation_interval, "iterations": iterations},
+    )
+    prof.complete(
+        "memory interface", "hls.stage", ts=est.depth,
+        dur=max(1, est.memory_cycles), pid=pid, tid=2,
+        args={k: v[1] for k, v in kind_traffic.items()},
+    )
+    prof.instant(f"bottleneck: {bottleneck}", "hls.stage", ts=est.cycles,
+                 pid=pid, tid=0)

@@ -72,14 +72,28 @@ class ReferenceBackend(DeviceBackend):
 
     name = "reference"
 
+    def __init__(self, profiler=None):
+        #: optional :class:`repro.profiling.Profiler` recording dynamic
+        #: op mixes and per-group spans for every launch.
+        self.profiler = profiler
+
     def build(self, kernel: Kernel) -> CompiledKernel:
         validate(kernel)
-        return _ReferenceKernel(kernel)
+        return _ReferenceKernel(kernel, self.profiler)
 
 
 class _ReferenceKernel(CompiledKernel):
+    def __init__(self, kernel: Kernel, profiler=None):
+        super().__init__(kernel)
+        self.profiler = profiler
+
     def launch(self, args: list[Any], ndrange: NDRange) -> LaunchStats:
-        result = interpret(self.kernel, args, ndrange)
+        if self.profiler is not None and self.profiler.enabled:
+            self.profiler.set_meta("backend", ReferenceBackend.name)
+            self.profiler.set_meta("kernel", self.kernel.name)
+            self.profiler.set_meta("timeline", "dynamic instructions")
+        result = interpret(self.kernel, args, ndrange,
+                           profiler=self.profiler)
         return LaunchStats(
             kernel_name=self.kernel.name,
             backend=ReferenceBackend.name,

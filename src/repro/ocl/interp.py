@@ -22,6 +22,7 @@ from typing import Any, Iterator
 import numpy as np
 
 from ..errors import InterpreterError, RuntimeLaunchError
+from ..profiling import Profiler, ensure_profiler
 from .ir import Block, Const, Instr, Kernel, LocalArray, Opcode, Param, Value
 from .ndrange import NDRange
 from .types import BOOL, FLOAT32, INT32, AddressSpace, is_pointer
@@ -96,10 +97,17 @@ def interpret(
     args: list[Any],
     ndrange: NDRange,
     max_steps_per_item: int = 2_000_000,
+    profiler: Profiler | None = None,
 ) -> RunResult:
-    """Execute ``kernel`` over ``ndrange``; mutates buffer args in place."""
+    """Execute ``kernel`` over ``ndrange``; mutates buffer args in place.
+
+    When ``profiler`` is enabled, records the kernel's dynamic op mix,
+    barrier counts and per-work-group spans on a timeline measured in
+    dynamic instruction steps (the interpreter has no cycle clock).
+    """
     _check_args(kernel, args)
     result = RunResult()
+    prof = ensure_profiler(profiler)
 
     base_env: dict[int, Any] = {}
     for param, arg in zip(kernel.params, args):
@@ -113,8 +121,37 @@ def interpret(
             base_env[id(param)] = wrap32(arg)
 
     for group in ndrange.groups():
+        if prof.enabled:
+            steps_before = sum(result.op_counts.values())
+            barriers_before = result.barriers_executed
         _run_group(kernel, base_env, ndrange, group, result, max_steps_per_item)
+        if prof.enabled:
+            steps_after = sum(result.op_counts.values())
+            prof.complete(
+                f"group {group}", "interp.group",
+                ts=steps_before, dur=steps_after - steps_before,
+                pid=0, tid=0,
+                args={"barriers": result.barriers_executed - barriers_before},
+            )
+    if prof.enabled:
+        _record_run(prof, kernel, ndrange, result)
     return result
+
+
+def _record_run(prof: Profiler, kernel: Kernel, ndr: NDRange,
+                result: RunResult) -> None:
+    """Fold one interpreter run into profiler counters."""
+    prof.name_process(0, f"interpreter: {kernel.name}")
+    prof.name_thread(0, 0, "work-groups (timeline = dynamic instructions)")
+    prof.count("interp.items_executed", result.items_executed)
+    prof.count("interp.barriers_executed", result.barriers_executed)
+    prof.count("interp.dynamic_instructions", result.dynamic_instructions)
+    prof.count("interp.groups", len(list(ndr.groups())))
+    if result.items_executed:
+        prof.count("interp.steps_per_item",
+                   result.dynamic_instructions / result.items_executed)
+    for op, n in result.op_counts.items():
+        prof.count(f"interp.op.{op.value}", n)
 
 
 def _run_group(

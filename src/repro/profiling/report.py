@@ -1,0 +1,130 @@
+"""Unified profile report: text rendering and JSON/Chrome-trace export.
+
+A :class:`ProfileReport` is a frozen snapshot of one measured run — the
+counters, trace events and metadata a :class:`~repro.profiling.Profiler`
+accumulated — detached from the executor that produced it, so sweeps can
+collect one per configuration and compare them.
+
+Export formats:
+
+* :meth:`render` — human-readable text (metadata, then counters grouped
+  by dotted prefix);
+* :meth:`chrome_trace` / :meth:`save_chrome_trace` — the Chrome JSON
+  Trace Event Format, loadable in ``chrome://tracing`` or
+  https://ui.perfetto.dev;
+* :meth:`to_json` / :meth:`save_json` — machine-readable summary for
+  downstream tooling (regression tracking, sweep post-processing).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .profiler import TraceEvent
+
+__all__ = ["ProfileReport"]
+
+
+@dataclass
+class ProfileReport:
+    title: str
+    backend: str = ""
+    counters: dict[str, float] = field(default_factory=dict)
+    events: list[TraceEvent] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
+    process_names: dict[int, str] = field(default_factory=dict)
+    thread_names: dict[tuple[int, int], str] = field(default_factory=dict)
+
+    # -- text --------------------------------------------------------------
+
+    def render(self) -> str:
+        """Multi-section text report."""
+        width = 68
+        lines = [f"== profile: {self.title} " + "=" * max(
+            0, width - 13 - len(self.title))]
+        if self.backend:
+            lines.append(f"backend: {self.backend}")
+        for key in sorted(self.meta):
+            if key == "backend" and self.backend:
+                continue
+            lines.append(f"{key}: {self.meta[key]}")
+        if self.counters:
+            lines.append("")
+            lines.append(f"{'counter':<44} {'value':>18}")
+            lines.append("-" * (44 + 1 + 18))
+            prev_group = None
+            for name in sorted(self.counters):
+                group = name.split(".", 1)[0]
+                if prev_group is not None and group != prev_group:
+                    lines.append("")
+                prev_group = group
+                lines.append(f"{name:<44} {_fmt(self.counters[name]):>18}")
+        nspans = sum(1 for e in self.events if e.ph == "X")
+        nsamples = sum(1 for e in self.events if e.ph == "C")
+        ninstants = sum(1 for e in self.events if e.ph == "i")
+        lines.append("")
+        lines.append(
+            f"trace: {nspans} spans, {nsamples} counter samples, "
+            f"{ninstants} instants"
+        )
+        return "\n".join(lines)
+
+    # -- chrome trace ------------------------------------------------------
+
+    def chrome_trace(self) -> dict[str, Any]:
+        """The Trace Event Format JSON object (``traceEvents`` array)."""
+        events: list[dict[str, Any]] = []
+        for pid, name in sorted(self.process_names.items()):
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": name},
+            })
+        for (pid, tid), name in sorted(self.thread_names.items()):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": name},
+            })
+        events.extend(e.as_chrome() for e in self.events)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "title": self.title,
+                "backend": self.backend,
+                **{str(k): str(v) for k, v in self.meta.items()},
+            },
+        }
+
+    def save_chrome_trace(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.chrome_trace()))
+        return path
+
+    # -- machine-readable summary -----------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "title": self.title,
+            "backend": self.backend,
+            "meta": self.meta,
+            "counters": dict(self.counters),
+            "events": {
+                "spans": sum(1 for e in self.events if e.ph == "X"),
+                "samples": sum(1 for e in self.events if e.ph == "C"),
+                "instants": sum(1 for e in self.events if e.ph == "i"),
+            },
+        }
+
+    def save_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), indent=2, default=str))
+        return path
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.4f}"
+    return f"{int(value):,}"

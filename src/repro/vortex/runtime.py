@@ -38,13 +38,16 @@ class VortexBackend(DeviceBackend):
 
     def __init__(self, config: VortexConfig | None = None,
                  max_cycles: int = 200_000_000, optimize: bool = True,
-                 trace: bool = False):
+                 trace: bool = False, profiler=None):
         self.config = config if config is not None else VortexConfig()
         self.max_cycles = max_cycles
         self.optimize = optimize
         #: keep a per-instruction execution trace on every launch
         #: (debugging aid; surfaces in LaunchStats.extra["trace"]).
         self.trace = trace
+        #: optional :class:`repro.profiling.Profiler`; every launch on
+        #: this backend records cycle-bucket samples and group spans.
+        self.profiler = profiler
         self._image_cache: dict[tuple, VortexKernelImage] = {}
 
     def build(self, kernel: Kernel) -> "VortexCompiledKernel":
@@ -75,7 +78,10 @@ class VortexCompiledKernel(CompiledKernel):
                 f"kernel {kernel.name} expects {len(kernel.params)} args"
             )
         image = self.backend.compile_for(kernel, ndrange)
-        machine = Machine(self.backend.config, trace=self.backend.trace)
+        machine = Machine(self.backend.config, trace=self.backend.trace,
+                          profiler=self.backend.profiler)
+        if machine.profiler.enabled:
+            machine.profiler.set_meta("kernel", kernel.name)
         machine.load_image(image)
 
         # Marshal arguments: buffers into the heap, scalars by value.

@@ -15,6 +15,9 @@ import numpy as np
 
 @dataclass
 class CacheStats:
+    #: total lookups, counted independently of the hit/miss split so the
+    #: ``hits + misses == accesses`` invariant is checkable.
+    accesses: int = 0
     hits: int = 0
     misses: int = 0
 
@@ -40,6 +43,7 @@ class Cache:
         set_idx = line % self.sets
         tag = line // self.sets
         self._tick += 1
+        self.stats.accesses += 1
         ways = self.tags[set_idx]
         hit = np.nonzero(ways == tag)[0]
         if len(hit):

@@ -609,11 +609,11 @@ class Core:
             warp.pc += 4
             if not warp.tmask.any():
                 warp.halt()
-                self.machine.on_warp_halt(self, warp)
+                self.machine.on_warp_halt(self, warp, now)
         elif m == "halt":
             warp.pc += 4
             warp.halt()
-            self.machine.on_warp_halt(self, warp)
+            self.machine.on_warp_halt(self, warp, now)
         elif m == "bar":
             bar_id = int(warp.x[ins.rs1][warp.first_active_lane()])
             count = int(warp.x[ins.rs2][warp.first_active_lane()])

@@ -19,6 +19,7 @@ import numpy as np
 
 from ...errors import RuntimeLaunchError, SimulationError
 from ...ocl.ndrange import NDRange
+from ...profiling import Profiler, ensure_profiler
 from .. import layout
 from ..codegen import VortexKernelImage
 from ..isa import CSR, Instruction
@@ -47,12 +48,18 @@ class LaunchResult:
 
 
 class Machine:
-    def __init__(self, config: VortexConfig, trace: bool = False):
+    def __init__(self, config: VortexConfig, trace: bool = False,
+                 profiler: Profiler | None = None):
         self.config = config
         self.memory = Memory()
         self.dram = DRAM(config.dram, config.line_size)
         self.cores = [Core(c, config, self) for c in range(config.cores)]
         self.printf_output: list[str] = []
+        #: profiling sink; the shared NULL_PROFILER when disabled, so the
+        #: per-cycle guard is a single attribute test.
+        self.profiler = ensure_profiler(profiler)
+        #: dispatch cycle and group coordinates per in-flight group key.
+        self._group_start: dict[int, tuple[int, tuple[int, int, int]]] = {}
         #: optional execution trace: (cycle, core, warp, pc, disasm, tmask)
         #: per issued instruction. Enable only for debugging — it grows
         #: with every instruction executed.
@@ -120,6 +127,11 @@ class Machine:
         self._groups_dispatched = 0
         self.printf_output.clear()
         now = 0
+        prof = self.profiler
+        profiling = prof.enabled
+        if profiling:
+            self._profile_prologue(ndrange)
+            sampler = _BucketSampler(self, prof)
         self._try_dispatch(now)
         total_groups = len(self._pending) + self._groups_dispatched
 
@@ -130,6 +142,8 @@ class Machine:
                     issued_any = True
             if self._pending:
                 self._try_dispatch(now)
+            if profiling:
+                sampler.maybe_sample(now)
             if self._done():
                 now += 1
                 break
@@ -147,6 +161,9 @@ class Machine:
                     f"simulation exceeded {max_cycles} cycles"
                 )
 
+        if profiling:
+            sampler.flush(now)
+            self._profile_epilogue(now, total_groups)
         hits = sum(c.dcache.stats.hits for c in self.cores)
         misses = sum(c.dcache.stats.misses for c in self.cores)
         return LaunchResult(
@@ -170,6 +187,79 @@ class Machine:
             return False
         return all(
             not w.active for core in self.cores for w in core.warps
+        )
+
+    # ------------------------------------------------------------------
+    # Profiling.
+    # ------------------------------------------------------------------
+
+    def _profile_prologue(self, ndrange: NDRange) -> None:
+        prof = self.profiler
+        cfg = self.config
+        prof.set_meta("backend", "simx")
+        prof.set_meta("config", cfg.label())
+        prof.set_meta("global_size", tuple(ndrange.global_size))
+        prof.set_meta("local_size", tuple(ndrange.local_size))
+        prof.set_meta("timeline", "cycles")
+        prof.name_process(_DEVICE_PID, "device (DRAM + dispatch)")
+        for core in self.cores:
+            pid = _core_pid(core.cid)
+            prof.name_process(pid, f"core {core.cid}")
+            for slot in range(cfg.warps):
+                prof.name_thread(pid, slot, f"slot {slot} (work-groups)")
+        self._group_start.clear()
+
+    def _profile_epilogue(self, now: int, total_groups: int) -> None:
+        """Fold the end-of-launch counters into the profiler."""
+        prof = self.profiler
+        totals = {
+            "cycles": now,
+            "groups_dispatched": total_groups,
+            "instructions": sum(c.stats.instructions for c in self.cores),
+            "simt_instructions": sum(c.stats.simt_instructions
+                                     for c in self.cores),
+            "cycles_active": sum(c.stats.cycles_active for c in self.cores),
+            "idle_cycles": sum(c.stats.idle_cycles for c in self.cores),
+            "lsu_stalls": sum(c.stats.lsu_stalls for c in self.cores),
+            "lsu_replays": sum(c.stats.lsu_replays for c in self.cores),
+            "scoreboard_stalls": sum(c.stats.scoreboard_stalls
+                                     for c in self.cores),
+            "barrier_waits": sum(c.stats.barrier_waits for c in self.cores),
+            "dcache.accesses": sum(c.dcache.stats.accesses
+                                   for c in self.cores),
+            "dcache.hits": sum(c.dcache.stats.hits for c in self.cores),
+            "dcache.misses": sum(c.dcache.stats.misses for c in self.cores),
+            "dram.requests": self.dram.stats.requests,
+            "dram.row_hits": self.dram.stats.row_hits,
+            "dram.row_misses": self.dram.stats.row_misses,
+        }
+        prof.count_many(totals, prefix="simx.")
+        hits, misses = totals["dcache.hits"], totals["dcache.misses"]
+        if hits + misses:
+            prof.count("simx.dcache.hit_rate", hits / (hits + misses))
+        if self.dram.stats.requests:
+            prof.count("simx.dram.row_hit_rate",
+                       self.dram.stats.row_hit_rate)
+
+    def _profile_dispatch(self, now: int, key: int,
+                          group: tuple[int, int, int], core: Core,
+                          slot: int, warps_needed: int) -> None:
+        self._group_start[key] = (now, group)
+        self.profiler.instant(
+            f"dispatch {group}", "simx.dispatch", ts=now,
+            pid=_core_pid(core.cid), tid=slot,
+            args={"group": list(group), "warps": warps_needed},
+        )
+
+    def _profile_group_done(self, now: int, key: int, cid: int,
+                            slot: int) -> None:
+        start = self._group_start.pop(key, None)
+        if start is None:
+            return
+        ts, group = start
+        self.profiler.complete(
+            f"group {group}", "simx.group", ts=ts, dur=max(1, now - ts),
+            pid=_core_pid(cid), tid=slot,
         )
 
     # ------------------------------------------------------------------
@@ -233,6 +323,9 @@ class Machine:
             self._next_group_key += 1
             self._group_remaining[key] = warps_needed
             self._group_slot[key] = (core.cid, slot)
+            if self.profiler.enabled:
+                self._profile_dispatch(now, key, group, core, slot,
+                                       warps_needed)
             local_base = layout.local_window(core.cid, slot, cfg.warps)
             entry_pc = self.program.labels[self._image.kernel_name]
             for k in range(warps_needed):
@@ -269,7 +362,7 @@ class Machine:
                 warp.group_key = key
             self._groups_dispatched += 1
 
-    def on_warp_halt(self, core: Core, warp) -> None:
+    def on_warp_halt(self, core: Core, warp, now: int = 0) -> None:
         key = warp.group_key
         if key is None:
             return
@@ -278,4 +371,84 @@ class Machine:
             cid, slot = self._group_slot.pop(key)
             self._slot_free[cid][slot] = True
             del self._group_remaining[key]
+            if self.profiler.enabled:
+                self._profile_group_done(now, key, cid, slot)
         warp.group_key = None
+
+
+_DEVICE_PID = 0
+
+
+def _core_pid(cid: int) -> int:
+    """Chrome-trace process id for one core (0 is the device process)."""
+    return cid + 1
+
+
+class _BucketSampler:
+    """Emits per-cycle-bucket issue/stall/idle breakdowns per core plus
+    cache/DRAM counter snapshots as Chrome counter tracks.
+
+    The machine's event-skipping main loop does not visit every cycle,
+    so sampling is edge-triggered: whenever ``now`` crosses the next
+    bucket boundary the delta since the previous sample is emitted,
+    stamped at the current cycle (gaps in the track mean idle-skips).
+    """
+
+    __slots__ = ("machine", "prof", "bucket", "next_ts", "core_prev",
+                 "dram_prev")
+
+    def __init__(self, machine: Machine, prof: Profiler):
+        self.machine = machine
+        self.prof = prof
+        self.bucket = prof.cycle_bucket
+        self.next_ts = self.bucket
+        self.core_prev = [self._core_snapshot(c) for c in machine.cores]
+        self.dram_prev = (0, 0)
+
+    @staticmethod
+    def _core_snapshot(core: Core) -> tuple[int, int, int, int, int, int]:
+        s = core.stats
+        return (s.instructions, s.cycles_active, s.idle_cycles,
+                s.lsu_stalls, s.scoreboard_stalls,
+                core.dcache.stats.hits + core.dcache.stats.misses)
+
+    def maybe_sample(self, now: int) -> None:
+        if now >= self.next_ts:
+            self._emit(now)
+            self.next_ts = now - now % self.bucket + self.bucket
+
+    def flush(self, now: int) -> None:
+        self._emit(now)
+
+    def _emit(self, now: int) -> None:
+        prof = self.prof
+        for core in self.machine.cores:
+            snap = self._core_snapshot(core)
+            prev = self.core_prev[core.cid]
+            issued, active, idle, lsu, sb, dacc = (
+                a - b for a, b in zip(snap, prev))
+            self.core_prev[core.cid] = snap
+            if active or idle:
+                prof.sample(
+                    f"core{core.cid} issue/stall/idle", ts=now,
+                    values={"issue": issued, "lsu_stall": lsu,
+                            "scoreboard_stall": sb,
+                            "idle": max(0, idle - lsu - sb)},
+                    pid=_core_pid(core.cid),
+                )
+            if dacc:
+                prof.sample(
+                    f"core{core.cid} dcache accesses", ts=now,
+                    values={"accesses": dacc}, pid=_core_pid(core.cid),
+                )
+        dstats = self.machine.dram.stats
+        dsnap = (dstats.requests, dstats.row_hits)
+        dreq = dsnap[0] - self.dram_prev[0]
+        if dreq:
+            prof.sample(
+                "dram requests", ts=now,
+                values={"requests": dreq,
+                        "row_hits": dsnap[1] - self.dram_prev[1]},
+                pid=_DEVICE_PID,
+            )
+        self.dram_prev = dsnap

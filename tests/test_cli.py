@@ -1,0 +1,107 @@
+"""Smoke tests for every ``python -m repro`` subcommand.
+
+Each test asserts exit code 0 and that the output looks like the
+artifact it claims to regenerate — not the exact numbers (other tests
+pin those), just that the CLI wiring stays sound.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Vortex" in out and "/28" in out
+
+
+def test_table2(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "auto-CSE ablation" in out
+
+
+def test_table3(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Vecadd" in out
+
+
+def test_table4(capsys):
+    assert main(["table4"]) == 0
+    out = capsys.readouterr().out
+    assert "max relative error vs paper" in out
+
+
+@pytest.mark.slow
+def test_fig7(capsys):
+    assert main(["fig7"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 7" in out
+    assert "vecadd" in out and "transpose" in out
+
+
+def test_no_subcommand_is_an_error(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main([])
+    assert exc.value.code == 2
+
+
+def test_unknown_subcommand_is_an_error(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["table9"])
+    assert exc.value.code == 2
+
+
+# -- profile -----------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", ["interp", "simx", "hls"])
+def test_profile_backends(backend, capsys, tmp_path):
+    trace = tmp_path / f"{backend}.trace.json"
+    assert main(["profile", "vecadd", "--backend", backend,
+                 "--trace-out", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "== profile: vecadd" in out
+    assert "counter" in out
+    assert trace.exists()
+    doc = json.loads(trace.read_text())
+    assert doc["traceEvents"], "trace must contain events"
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    assert "X" in phases, "trace must contain at least one span"
+
+
+def test_profile_json_summary(capsys, tmp_path):
+    trace = tmp_path / "p.trace.json"
+    summary = tmp_path / "p.json"
+    assert main(["profile", "vecadd", "--backend", "simx",
+                 "--trace-out", str(trace),
+                 "--json-out", str(summary)]) == 0
+    doc = json.loads(summary.read_text())
+    assert doc["backend"] == "simx"
+    assert doc["counters"]["simx.cycles"] > 0
+    assert doc["events"]["spans"] > 0
+
+
+def test_profile_geometry_flags(capsys, tmp_path):
+    trace = tmp_path / "g.trace.json"
+    assert main(["profile", "vecadd", "--backend", "simx",
+                 "--cores", "2", "--warps", "2", "--threads", "8",
+                 "--trace-out", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "== profile: vecadd" in out
+
+
+def test_profile_unknown_benchmark(capsys, tmp_path):
+    assert main(["profile", "no-such-benchmark",
+                 "--trace-out", str(tmp_path / "x.json")]) == 1
+    err = capsys.readouterr().err
+    assert "error" in err.lower()
+
+
+def test_profile_unknown_backend_rejected(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["profile", "vecadd", "--backend", "cuda"])
+    assert exc.value.code == 2

@@ -15,6 +15,8 @@ from hypothesis import strategies as st
 
 from repro.ocl import (
     Context,
+    FLOAT32,
+    GLOBAL_FLOAT32,
     GLOBAL_INT32,
     INT32,
     KernelBuilder,
@@ -25,6 +27,7 @@ from repro.ocl import (
 from repro.vortex import VortexBackend, VortexConfig
 
 N_ITEMS = 16
+LOCAL = 8
 CONFIG = VortexConfig(cores=2, warps=2, threads=4)
 
 # -- program generator -------------------------------------------------------
@@ -157,6 +160,180 @@ def test_cse_preserves_semantics(program):
     interpret(optimized, list(opt), NDRange.create(N_ITEMS, 8))
     for r, o in zip(ref, opt):
         np.testing.assert_array_equal(o, r)
+
+
+# -- float32 arithmetic ------------------------------------------------------
+#
+# fadd/fsub/fmul/fmin/fmax over *finite* operands are bit-exact across the
+# interpreter (binary32 rounding after every op) and SimX (numpy float32
+# vector ALU): double rounding through float64 is innocuous for the basic
+# operations (53 >= 2*24 + 2). Every assignment is clamped to +/-1e6 so no
+# intermediate can reach infinity — keeping NaN (where Python's min and
+# numpy's fmin legitimately disagree) out of the reachable value space.
+
+_FLOAT_OPS = ("add", "sub", "mul", "min", "max")
+
+
+@st.composite
+def float_programs(draw):
+    """Statements over 3 float vars; control flow stays on int gid."""
+    def stmts(depth):
+        n = draw(st.integers(1, 4 if depth == 0 else 2))
+        out = []
+        for _ in range(n):
+            kind = draw(st.sampled_from(
+                ["assign", "assign", "assign", "if", "loop"]
+                if depth < 2 else ["assign"]))
+            if kind == "assign":
+                out.append((
+                    "assign",
+                    draw(st.integers(0, 2)),  # target var
+                    draw(st.sampled_from(_FLOAT_OPS)),
+                    draw(st.integers(0, 3)),  # operand a (3 = itof(gid))
+                    draw(st.one_of(
+                        st.integers(0, 3),
+                        st.integers(-16, 16).map(lambda c: ("c", c / 4.0)),
+                    )),
+                ))
+            elif kind == "if":
+                out.append((
+                    "if",
+                    draw(st.sampled_from(_CMPS)),
+                    draw(st.integers(-4, 4)),
+                    stmts(depth + 1),
+                    stmts(depth + 1) if draw(st.booleans()) else None,
+                ))
+            else:
+                out.append(("loop", draw(st.integers(1, 3)), stmts(depth + 1)))
+        return out
+
+    return stmts(0)
+
+
+def build_float_kernel(program):
+    b = KernelBuilder("ffuzz")
+    outs = [b.param(f"out{i}", GLOBAL_FLOAT32) for i in range(3)]
+    gid = b.global_id(0)
+    fgid = b.itof(gid)
+    vars_ = [b.var(f"f{i}", FLOAT32, init=b.const(float(i + 1)))
+             for i in range(3)]
+
+    def operand(spec):
+        if isinstance(spec, tuple) and spec[0] == "c":
+            return b.const(spec[1])
+        if spec == 3:
+            return fgid
+        return vars_[spec].get()
+
+    def emit(stmts):
+        for s in stmts:
+            if s[0] == "assign":
+                _, tgt, op, a, c = s
+                val = getattr(b, op)(operand(a), operand(c))
+                clamped = b.min(b.max(val, b.const(-1e6)), b.const(1e6))
+                vars_[tgt].set(clamped)
+            elif s[0] == "if":
+                _, cmp_, c, then_s, else_s = s
+                cond = getattr(b, cmp_)(gid, b.const(c))
+                if else_s is None:
+                    with b.if_(cond):
+                        emit(then_s)
+                else:
+                    with b.if_else(cond) as (t, e):
+                        with t:
+                            emit(then_s)
+                        with e:
+                            emit(else_s)
+            else:
+                _, trips, body = s
+                with b.for_range(0, trips):
+                    emit(body)
+
+    emit(program)
+    for out, v in zip(outs, vars_):
+        b.store(out, gid, v.get())
+    return b.finish()
+
+
+@given(float_programs())
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+def test_random_float_programs_match(program):
+    kernel = build_float_kernel(program)
+    validate(kernel)
+
+    ref = [np.zeros(N_ITEMS, dtype=np.float32) for _ in range(3)]
+    interpret(kernel, list(ref), NDRange.create(N_ITEMS, 8))
+
+    ctx = Context(VortexBackend(CONFIG))
+    prog = ctx.program([kernel])
+    bufs = [ctx.alloc(N_ITEMS, np.float32) for _ in range(3)]
+    prog.launch("ffuzz", bufs, N_ITEMS, 8)
+
+    for r, buf in zip(ref, bufs):
+        assert np.all(np.isfinite(r)), "clamping must keep values finite"
+        np.testing.assert_array_equal(buf.read(), r)
+
+
+# -- barrier / local-memory kernels ------------------------------------------
+#
+# Rounds of store-to-local / barrier / read-back exercise warp-set dispatch,
+# barrier synchronization and local-memory addressing. Barriers must stay in
+# uniform control flow (the validator rejects divergent barriers), so the
+# generated structure is fixed and only the data movement varies.
+
+_MIX_OPS = ("add", "xor", "min", "max")
+
+
+@st.composite
+def barrier_programs(draw):
+    rounds = draw(st.integers(1, 3))
+    return [
+        {
+            "scale": draw(st.integers(-3, 3)),
+            "offset": draw(st.integers(0, LOCAL - 1)),
+            "op": draw(st.sampled_from(_MIX_OPS)),
+        }
+        for _ in range(rounds)
+    ]
+
+
+def build_barrier_kernel(rounds):
+    b = KernelBuilder("bfuzz")
+    out = b.param("out", GLOBAL_INT32)
+    lmem = b.local_array("lmem", INT32, LOCAL)
+    gid = b.global_id(0)
+    lid = b.local_id(0)
+    acc = b.var("acc", INT32, init=gid)
+    for spec in rounds:
+        b.store(lmem, lid, b.add(b.mul(acc.get(), spec["scale"]), gid))
+        b.barrier()
+        neighbour = b.load(lmem, b.rem(b.add(lid, spec["offset"]),
+                                       b.const(LOCAL)))
+        acc.set(getattr(b, spec["op"])(acc.get(), neighbour))
+        # the next round's store must not race this round's reads
+        b.barrier()
+    b.store(out, gid, acc.get())
+    return b.finish()
+
+
+@given(barrier_programs())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+def test_barrier_local_memory_match(rounds):
+    kernel = build_barrier_kernel(rounds)
+    validate(kernel)
+
+    ref = np.zeros(N_ITEMS, dtype=np.int32)
+    interpret(kernel, [ref], NDRange.create(N_ITEMS, LOCAL))
+
+    ctx = Context(VortexBackend(CONFIG))
+    prog = ctx.program([kernel])
+    buf = ctx.alloc(N_ITEMS, np.int32)
+    prog.launch("bfuzz", [buf], N_ITEMS, LOCAL)
+    np.testing.assert_array_equal(buf.read(), ref)
 
 
 @given(st.integers(0, 2**32 - 1), st.integers(1, 31))
