@@ -17,17 +17,51 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+
+
+def _make_cache(args: argparse.Namespace | None):
+    """Build the result cache the flags (or REPRO_CACHE_DIR) ask for."""
+    if args is None or getattr(args, "no_cache", False):
+        return None
+    cache_dir = (getattr(args, "cache_dir", "")
+                 or os.environ.get("REPRO_CACHE_DIR", ""))
+    if not cache_dir:
+        return None
+    from .harness import ResultCache
+
+    return ResultCache(cache_dir)
+
+
+def _jobs(args: argparse.Namespace | None) -> int:
+    from .harness import resolve_jobs
+
+    return resolve_jobs(getattr(args, "jobs", 1) if args else 1)
+
+
+def _sizes(spec: str, default: tuple[int, ...]) -> tuple[int, ...]:
+    if not spec:
+        return default
+    try:
+        sizes = tuple(int(tok) for tok in spec.split(",") if tok.strip())
+    except ValueError:
+        raise SystemExit(f"bad size list {spec!r} (want e.g. 2,4,8)")
+    if not sizes:
+        return default
+    return sizes
 
 
 def _table1(args: argparse.Namespace | None = None) -> int:
     from .harness import run_coverage
 
-    report = run_coverage()
+    report = run_coverage(jobs=_jobs(args), cache=_make_cache(args))
     print(report.render())
     print(f"\nVortex {report.vortex_passes}/28, "
           f"Intel SDK {report.hls_passes}/28; "
           f"matches paper: {report.matches_paper()}")
+    if report.engine_stats is not None:
+        print(report.engine_stats.summary())
     return 0
 
 
@@ -58,21 +92,34 @@ def _table4(args: argparse.Namespace | None = None) -> int:
 
 
 def _fig7(args: argparse.Namespace | None = None) -> int:
-    from .harness import render_comparison, run_sweep
+    from .harness import ExperimentEngine, render_comparison, run_sweep
+    from .harness.sweep import THREAD_SIZES, WARP_SIZES
 
-    results = []
-    for benchmark in ("vecadd", "transpose"):
-        result = run_sweep(benchmark)
-        results.append(result)
-        print(result.render())
+    warp_sizes = _sizes(getattr(args, "warp_sizes", "") if args else "",
+                        WARP_SIZES)
+    thread_sizes = _sizes(getattr(args, "thread_sizes", "") if args else "",
+                          THREAD_SIZES)
+    # One engine for both benchmarks: the run summary aggregates the
+    # whole figure (32 points by default) and the worker pool is spun
+    # up once, not per benchmark.
+    with ExperimentEngine(jobs=_jobs(args),
+                          cache=_make_cache(args)) as engine:
+        results = []
+        for benchmark in ("vecadd", "transpose"):
+            result = run_sweep(benchmark, warp_sizes=warp_sizes,
+                               thread_sizes=thread_sizes, engine=engine)
+            results.append(result)
+            print(result.render())
+            print()
+        print(render_comparison(results))
         print()
-    print(render_comparison(results))
+        print(engine.stats.summary())
     return 0
 
 
 def _profile(args: argparse.Namespace) -> int:
     from .errors import ReproError
-    from .harness import run_profile
+    from .harness import run_profile_cached
     from .vortex import VortexConfig
 
     config = None
@@ -84,13 +131,14 @@ def _profile(args: argparse.Namespace) -> int:
             threads=args.threads or base.threads,
         )
     try:
-        report, result = run_profile(
+        report, summary, cache_hit = run_profile_cached(
             args.benchmark,
             backend=args.backend,
             scale=args.scale,
             config=config,
             cycle_bucket=args.bucket,
             validate=not args.no_validate,
+            cache=_make_cache(args),
         )
     except (ReproError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -103,10 +151,11 @@ def _profile(args: argparse.Namespace) -> int:
           f"(open in chrome://tracing or ui.perfetto.dev)")
     if args.json_out:
         print(f"summary JSON written to {report.save_json(args.json_out)}")
-    launches = len(result.launches)
-    cycles = result.total_cycles
+    launches = summary["launches"]
+    cycles = summary["total_cycles"]
     print(f"{launches} launch(es)"
-          + (f", {cycles:,} total cycles" if cycles is not None else ""))
+          + (f", {cycles:,} total cycles" if cycles is not None else "")
+          + (" [result cache hit: no simulation ran]" if cache_hit else ""))
     return 0
 
 
@@ -126,14 +175,40 @@ def _build_parser() -> argparse.ArgumentParser:
                     "profile one benchmark on one executor.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    engine_flags = argparse.ArgumentParser(add_help=False)
+    engine_flags.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent experiment points "
+             "(default 1 = serial; 0 = one per CPU)")
+    engine_flags.add_argument(
+        "--cache-dir", default="", metavar="PATH",
+        help="memoise experiment points on disk under PATH (also honours "
+             "the REPRO_CACHE_DIR environment variable); entries are "
+             "keyed by the inputs plus a fingerprint of the repro "
+             "source, so code changes invalidate them automatically")
+    engine_flags.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir / REPRO_CACHE_DIR for this run")
+
     for name, fn in _ARTIFACTS.items():
-        p = sub.add_parser(name, help=f"regenerate {name}")
+        parents = [engine_flags] if name in ("table1", "fig7") else []
+        p = sub.add_parser(name, help=f"regenerate {name}",
+                           parents=parents)
+        if name == "fig7":
+            p.add_argument(
+                "--warp-sizes", default="", metavar="W,W,...",
+                help="comma-separated warp counts (default 2,4,8,16)")
+            p.add_argument(
+                "--thread-sizes", default="", metavar="T,T,...",
+                help="comma-separated thread counts (default 2,4,8,16)")
         p.set_defaults(func=fn)
     p_all = sub.add_parser("all", help="regenerate every table and figure")
     p_all.set_defaults(func=None)
 
     p = sub.add_parser(
         "profile",
+        parents=[engine_flags],
         help="run one benchmark under the unified profiler and emit a "
              "text report plus a Chrome-trace JSON file",
     )

@@ -52,6 +52,32 @@ class SynthesisError(CompilationError):
         super().__init__(f"synthesis failed ({reason}): {detail}")
 
 
+class ExplorationError(SynthesisError):
+    """Design-space exploration found no feasible configuration.
+
+    Raised by :meth:`repro.harness.dse.DSEResult.best` when the area
+    model rejected every explored point, naming the device and the
+    per-reason rejection counts so the caller can tell *why* the grid
+    was infeasible (instead of a bare ``min() arg is an empty
+    sequence``).
+    """
+
+    def __init__(self, device_name: str, rejected):
+        reasons: dict[str, int] = {}
+        for _, reason in rejected:
+            reasons[reason] = reasons.get(reason, 0) + 1
+        summary = ", ".join(
+            f"{name}: {count}" for name, count in sorted(reasons.items())
+        ) or "no points explored"
+        self.device_name = device_name
+        self.rejection_counts = reasons
+        super().__init__(
+            "no-feasible-config",
+            f"all {len(rejected)} explored configurations were rejected "
+            f"on {device_name} ({summary})",
+        )
+
+
 class SimulationError(ReproError):
     """The cycle-level simulator detected an illegal execution."""
 

@@ -24,7 +24,14 @@ from .case_study import (
 )
 from .coverage import PAPER_TABLE1, CoverageReport, run_coverage
 from .dse import Candidate, DSEResult, explore_design_space
-from .profile import PROFILE_BACKENDS, make_profiled_backend, run_profile
+from .engine import EngineStats, ExperimentEngine, resolve_jobs
+from .profile import (
+    PROFILE_BACKENDS,
+    make_profiled_backend,
+    run_profile,
+    run_profile_cached,
+)
+from .result_cache import ResultCache, code_fingerprint
 from .sweep import PAPER_FIG7, SweepResult, render_comparison, run_sweep
 from .tables import render_heatmap, render_table
 
@@ -33,6 +40,12 @@ __all__ = [
     "Candidate",
     "CoverageReport",
     "DSEResult",
+    "EngineStats",
+    "ExperimentEngine",
+    "ResultCache",
+    "code_fingerprint",
+    "resolve_jobs",
+    "run_profile_cached",
     "PAPER_FIG7",
     "PAPER_TABLE1",
     "PAPER_TABLE2",

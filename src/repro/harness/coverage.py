@@ -9,9 +9,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..benchmarks import all_benchmarks, run_benchmark
+from ..benchmarks import all_benchmarks, get_benchmark, run_benchmark
 from ..hls import HLSBackend, STRATIX10_MX2100
 from ..vortex import VortexBackend, VortexConfig
+from .engine import EngineStats, ExperimentEngine
+from .result_cache import ResultCache
 from .tables import render_table
 
 #: The paper's Table I: benchmark -> (vortex_ok, hls_ok, reason).
@@ -63,6 +65,8 @@ class CoverageReport:
     rows: dict[str, tuple[CoverageCell, CoverageCell]] = field(
         default_factory=dict
     )
+    #: execution/cache bookkeeping from the engine that ran the rows.
+    engine_stats: EngineStats | None = None
 
     @property
     def vortex_passes(self) -> int:
@@ -106,23 +110,65 @@ def _cell(result) -> CoverageCell:
     return CoverageCell(False, result.status, result.detail)
 
 
+def _cell_payload(cell: CoverageCell) -> dict:
+    return {"passed": cell.passed, "reason": cell.reason,
+            "detail": cell.detail}
+
+
+def _cell_from_payload(payload: dict) -> CoverageCell:
+    return CoverageCell(passed=payload["passed"], reason=payload["reason"],
+                        detail=payload["detail"])
+
+
+def coverage_point(bench_name: str, scale: int, validate: bool,
+                   vortex_config: VortexConfig | None) -> dict:
+    """One Table-I row (both flows) — the engine's unit of work."""
+    bench = get_benchmark(bench_name)
+    vortex_result = run_benchmark(
+        bench, VortexBackend(vortex_config or VortexConfig()),
+        scale=scale, validate=validate,
+    )
+    hls_result = run_benchmark(
+        bench, HLSBackend(device=STRATIX10_MX2100),
+        scale=scale, validate=validate,
+    )
+    return {
+        "table_name": bench.table_name,
+        "vortex": _cell_payload(_cell(vortex_result)),
+        "hls": _cell_payload(_cell(hls_result)),
+    }
+
+
 def run_coverage(
     scale: int = 1,
     vortex_config: VortexConfig | None = None,
     validate: bool = True,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> CoverageReport:
-    """Regenerate Table I (validating outputs on both flows)."""
-    report = CoverageReport()
-    for bench in all_benchmarks():
-        vortex_result = run_benchmark(
-            bench, VortexBackend(vortex_config or VortexConfig()),
-            scale=scale, validate=validate,
+    """Regenerate Table I (validating outputs on both flows).
+
+    The 28 benchmark rows are independent experiment points: ``jobs``
+    fans them across worker processes and ``cache`` memoises each row
+    (the row payload is plain JSON, so it round-trips losslessly).
+    """
+    benches = all_benchmarks()
+    points = [(bench.name, scale, validate, vortex_config)
+              for bench in benches]
+    keys = [
+        None if cache is None else cache.key(
+            kind="table1-row", benchmark=bench.name, scale=scale,
+            validate=validate, vortex_config=vortex_config,
         )
-        hls_result = run_benchmark(
-            bench, HLSBackend(device=STRATIX10_MX2100),
-            scale=scale, validate=validate,
-        )
-        report.rows[bench.table_name] = (
-            _cell(vortex_result), _cell(hls_result)
+        for bench in benches
+    ]
+    with ExperimentEngine(jobs=jobs, cache=cache) as engine:
+        values = engine.run(coverage_point, points, keys=keys,
+                            label="table1")
+    report = CoverageReport(engine_stats=engine.stats)
+    for value in values:
+        report.rows[value["table_name"]] = (
+            _cell_from_payload(value["vortex"]),
+            _cell_from_payload(value["hls"]),
         )
     return report

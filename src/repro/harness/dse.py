@@ -23,12 +23,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import SynthesisError
+from ..errors import ExplorationError, SynthesisError
 from ..hls.device import FPGADevice, STRATIX10_SX2800
 from ..profiling import Profiler, ensure_profiler
 from ..vortex.analytical import KernelProfile, Prediction, predict
 from ..vortex.area import VortexAreaReport, synthesize
 from ..vortex.simx.config import VortexConfig
+from .engine import ExperimentEngine
 from .tables import render_table
 
 
@@ -56,7 +57,15 @@ class DSEResult:
     def best(self) -> Candidate:
         """Best verified candidate; predicted cycles and simulated cycles
         are different scales, so once anything was simulated only the
-        simulated candidates compete."""
+        simulated candidates compete.
+
+        Raises :class:`~repro.errors.ExplorationError` (naming the
+        device and the rejection reasons) when the area model rejected
+        every explored point — there is no best configuration to
+        return.
+        """
+        if not self.candidates:
+            raise ExplorationError(self.device.name, self.rejected)
         simulated = [c for c in self.candidates
                      if c.simulated_cycles is not None]
         if simulated:
@@ -98,11 +107,16 @@ def explore_design_space(
     simulate_top: int = 0,
     simulate=None,
     profiler: Profiler | None = None,
+    jobs: int = 1,
 ) -> DSEResult:
     """Enumerate (C, W, T), filter by area, rank analytically.
 
     ``simulate`` (optional) is a callable ``config -> cycles`` used to
-    verify the ``simulate_top`` best-predicted candidates.
+    verify the ``simulate_top`` best-predicted candidates. With
+    ``jobs > 1`` the verification simulations — the only expensive part
+    of the loop — fan out across the experiment engine's worker pool;
+    ``simulate`` must then be a picklable module-level callable
+    (closures still work in the default serial path).
 
     ``profiler`` (optional) records the exploration itself: counters for
     enumerated/feasible/rejected points and wall-clock spans around the
@@ -136,10 +150,21 @@ def explore_design_space(
     if simulate_top and simulate is not None:
         ranked = sorted(result.candidates,
                         key=lambda cand: cand.prediction.cycles)
-        for cand in ranked[:simulate_top]:
-            with prof.span(f"dse: simulate {cand.config.label()}",
-                           cat="dse"):
-                cand.simulated_cycles = simulate(cand.config)
+        top = ranked[:simulate_top]
+        if jobs > 1 and len(top) > 1:
+            with ExperimentEngine(jobs=jobs, profiler=profiler) as engine:
+                cycles = engine.run(simulate,
+                                    [(cand.config,) for cand in top],
+                                    label="dse verify")
+            for cand, sim_cycles in zip(top, cycles):
+                cand.simulated_cycles = sim_cycles
             if prof.enabled:
-                prof.count("dse.simulated")
+                prof.count("dse.simulated", len(top))
+        else:
+            for cand in top:
+                with prof.span(f"dse: simulate {cand.config.label()}",
+                               cat="dse"):
+                    cand.simulated_cycles = simulate(cand.config)
+                if prof.enabled:
+                    prof.count("dse.simulated")
     return result

@@ -1,0 +1,232 @@
+"""Parallel, memoised experiment engine.
+
+The paper's experiment grids are embarrassingly parallel: the Figure 7
+sweep is 16 independent SimX runs per benchmark, Table I is 28
+independent benchmark rows, and the conclusion's design-space
+exploration verifies its top candidates with independent simulations.
+:class:`ExperimentEngine` fans such *experiment points* across a
+``concurrent.futures.ProcessPoolExecutor`` and memoises each point in a
+:class:`~repro.harness.result_cache.ResultCache`, so
+
+* ``--jobs N`` scales a sweep across cores with **bit-identical**
+  results to a serial run (points are pure functions of their pickled
+  arguments, and results are reassembled in submission order), and
+* ``--cache-dir`` makes repeated invocations return instantly, with
+  automatic invalidation when the simulator source changes.
+
+Point functions must be **module-level callables with picklable
+arguments** — the engine uses the ``spawn`` start method by default so
+workers import a fresh interpreter (fork-safety with numpy/BLAS thread
+pools is not assumed), which is also what CI runners and macOS default
+to. With ``jobs=1`` everything runs inline in the calling process and
+no pickling is required, which keeps closures (e.g. test fakes) usable
+in the serial path.
+
+Profiling composes per point, not per engine: a profiled point function
+creates its own :class:`~repro.profiling.Profiler` inside the worker
+and returns the (picklable) :class:`~repro.profiling.ProfileReport`,
+which the caller saves exactly as a serial run would — profile output
+is byte-identical whether ``jobs=1`` or ``jobs=8``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Any, Callable, Sequence
+
+from ..profiling import Profiler, ensure_profiler
+from .result_cache import MISS, ResultCache
+
+__all__ = ["EngineStats", "ExperimentEngine", "resolve_jobs"]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` value: ``0``/``None`` means one per CPU."""
+    if not jobs:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0")
+    return jobs
+
+
+@dataclass
+class EngineStats:
+    """Bookkeeping for one engine invocation (or several, merged)."""
+
+    jobs: int = 1
+    points: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    cache_stores: int = 0
+    wall_s: float = 0.0
+    cache_dir: str = ""
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        self.jobs = max(self.jobs, other.jobs)
+        self.points += other.points
+        self.executed += other.executed
+        self.cache_hits += other.cache_hits
+        self.cache_stores += other.cache_stores
+        self.wall_s += other.wall_s
+        self.cache_dir = self.cache_dir or other.cache_dir
+        return self
+
+    def summary(self) -> str:
+        """One-line run summary (the cache-hit counter the CLI prints)."""
+        parts = [
+            f"{self.points} points",
+            f"{self.executed} executed",
+            f"{self.cache_hits} cache hits",
+            f"jobs={self.jobs}",
+            f"{self.wall_s:.1f}s",
+        ]
+        if self.cache_dir:
+            parts.append(f"cache={self.cache_dir}")
+        return "engine: " + ", ".join(parts)
+
+
+@dataclass
+class _Point:
+    index: int
+    args: tuple
+    key: str | None = None
+    value: Any = None
+    cached: bool = False
+
+
+class ExperimentEngine:
+    """Runs independent experiment points, in parallel and memoised.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` runs inline (no pool, no pickling),
+        ``0`` means one per CPU.
+    cache:
+        Optional :class:`ResultCache`. Points that provide a cache key
+        are looked up before execution and stored after.
+    start_method:
+        ``multiprocessing`` start method for the pool (default
+        ``"spawn"``; see module docstring).
+    profiler:
+        Optional profiler recording host-side spans and counters for
+        the engine run itself.
+    """
+
+    def __init__(self, jobs: int = 1, cache: ResultCache | None = None,
+                 start_method: str = "spawn",
+                 profiler: Profiler | None = None):
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        self.start_method = start_method
+        self.profiler = ensure_profiler(profiler)
+        self.stats = EngineStats(
+            jobs=self.jobs,
+            cache_dir=str(cache.root) if cache is not None else "",
+        )
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- worker-pool lifecycle --------------------------------------------
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        """The engine's worker pool, created lazily and kept across
+        :meth:`run` calls — spawned workers pay their interpreter/numpy
+        import once per engine, not once per sweep."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=get_context(self.start_method))
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        points: Sequence[tuple],
+        *,
+        keys: Sequence[str | None] | None = None,
+        encode: Callable[[Any], Any] | None = None,
+        decode: Callable[[Any], Any] | None = None,
+        label: str = "experiment",
+    ) -> list[Any]:
+        """Evaluate ``fn(*point)`` for every point, in input order.
+
+        ``keys`` (parallel to ``points``) are cache keys from
+        :meth:`ResultCache.key`; a ``None`` key skips the cache for
+        that point. ``encode``/``decode`` convert between the point
+        result and its JSON-serialisable cached form (identity by
+        default, for results that are already plain JSON values).
+        """
+        if keys is not None and len(keys) != len(points):
+            raise ValueError("keys must parallel points")
+        started = time.perf_counter()
+        prof = self.profiler
+        work = [
+            _Point(index=i, args=tuple(p),
+                   key=None if keys is None else keys[i])
+            for i, p in enumerate(points)
+        ]
+        self.stats.points += len(work)
+
+        pending: list[_Point] = []
+        for point in work:
+            value = MISS
+            if self.cache is not None and point.key is not None:
+                value = self.cache.get(point.key)
+            if value is MISS:
+                pending.append(point)
+            else:
+                point.value = value if decode is None else decode(value)
+                point.cached = True
+        self.stats.cache_hits += len(work) - len(pending)
+        if prof.enabled:
+            prof.count(f"engine.{label}.points", len(work))
+            prof.count(f"engine.{label}.cache_hits",
+                       len(work) - len(pending))
+
+        with prof.span(f"engine: {label} ({len(pending)} of {len(work)})",
+                       cat="engine"):
+            if pending:
+                self._execute(fn, pending)
+        self.stats.executed += len(pending)
+        if prof.enabled:
+            prof.count(f"engine.{label}.executed", len(pending))
+
+        if self.cache is not None:
+            for point in pending:
+                if point.key is not None:
+                    stored = (point.value if encode is None
+                              else encode(point.value))
+                    self.cache.put(point.key, stored)
+                    self.stats.cache_stores += 1
+        self.stats.wall_s += time.perf_counter() - started
+        return [point.value for point in work]
+
+    def _execute(self, fn: Callable[..., Any],
+                 pending: list[_Point]) -> None:
+        if self.jobs <= 1 or len(pending) <= 1:
+            for point in pending:
+                point.value = fn(*point.args)
+            return
+        pool = self._get_pool()
+        futures = [(point, pool.submit(fn, *point.args))
+                   for point in pending]
+        for point, future in futures:
+            point.value = future.result()

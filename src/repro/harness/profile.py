@@ -17,6 +17,7 @@ from ..hls import HLSBackend
 from ..ocl.host import ReferenceBackend
 from ..profiling import ProfileReport, Profiler
 from ..vortex import VortexBackend, VortexConfig
+from .result_cache import MISS, ResultCache
 
 #: CLI spelling -> backend factory.
 PROFILE_BACKENDS = ("interp", "simx", "hls")
@@ -67,3 +68,50 @@ def run_profile(
     report = profiler.report(
         title=f"{bench.name} [{backend}]", backend=backend)
     return report, result
+
+
+def run_profile_cached(
+    benchmark: str,
+    backend: str = "simx",
+    scale: int = 1,
+    config: VortexConfig | None = None,
+    cycle_bucket: int = Profiler.DEFAULT_CYCLE_BUCKET,
+    validate: bool = True,
+    cache: ResultCache | None = None,
+) -> tuple[ProfileReport, dict, bool]:
+    """:func:`run_profile` behind the experiment result cache.
+
+    Returns ``(report, summary, cache_hit)`` where ``summary`` carries
+    the launch count and total cycles the CLI prints (the full
+    :class:`BenchmarkResult` holds live buffers and is not cached). The
+    report round-trips losslessly through
+    :meth:`~repro.profiling.ProfileReport.to_payload`, so a cached run
+    emits byte-identical trace and summary files.
+
+    The profiler's wall-clock harness span is excluded from the cache
+    key inputs but *included* in the cached report — a cached run
+    replays the originally measured wall time rather than remeasuring a
+    run that never happened.
+    """
+    key = None
+    if cache is not None:
+        key = cache.key(
+            kind="profile", benchmark=benchmark, backend=backend,
+            scale=scale, config=config, cycle_bucket=cycle_bucket,
+            validate=validate,
+        )
+        payload = cache.get(key)
+        if payload is not MISS:
+            return (ProfileReport.from_payload(payload["report"]),
+                    payload["summary"], True)
+    report, result = run_profile(
+        benchmark, backend=backend, scale=scale, config=config,
+        cycle_bucket=cycle_bucket, validate=validate,
+    )
+    summary = {
+        "launches": len(result.launches),
+        "total_cycles": result.total_cycles,
+    }
+    if cache is not None and key is not None:
+        cache.put(key, {"report": report.to_payload(), "summary": summary})
+    return report, summary, False

@@ -10,10 +10,17 @@ The paper's quoted shape: vecadd reaches its optimum at 4 warps / 4
 threads and degrades ~27% at 8/8 and ~11% at 8 warps / 4 threads (more
 LSU stalls from its higher load density); transpose peaks at 8/8 and
 loses ~44% at 4/4 and ~17% at 8 warps / 4 threads.
+
+The grid is embarrassingly parallel: each cell is an independent SimX
+run, so ``run_sweep(jobs=N)`` fans the cells across the
+:class:`~repro.harness.engine.ExperimentEngine`'s worker pool, and
+``cache=`` memoises each cell on disk keyed by (benchmark, config,
+problem size, seed, code fingerprint).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -23,10 +30,15 @@ from ..benchmarks import get_benchmark
 from ..ocl import Context
 from ..profiling import NULL_PROFILER, Profiler
 from ..vortex import VortexBackend, VortexConfig
+from .engine import EngineStats, ExperimentEngine
+from .result_cache import ResultCache
 from .tables import render_heatmap, render_table
 
 WARP_SIZES = (2, 4, 8, 16)
 THREAD_SIZES = (2, 4, 8, 16)
+
+#: the deterministic workload seed every cell uses.
+SWEEP_SEED = 0
 
 #: Ratios quoted in §III-C, relative to each benchmark's optimum.
 PAPER_FIG7 = {
@@ -41,6 +53,8 @@ class SweepResult:
     cycles: dict[tuple[int, int], int] = field(default_factory=dict)
     #: LSU stalls: loads bounced off full MSHRs (replays).
     lsu_stalls: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: execution/cache bookkeeping from the engine that ran the grid.
+    engine_stats: EngineStats | None = None
 
     @property
     def best(self) -> tuple[int, int]:
@@ -51,7 +65,16 @@ class SweepResult:
         return {k: v / floor for k, v in self.cycles.items()}
 
     def ratio(self, warps: int, threads: int) -> float:
-        return self.cycles[(warps, threads)] / self.cycles[self.best]
+        """Cycles at (warps, threads) relative to the sweep's best cell.
+
+        NaN when the sweep did not cover that cell (custom
+        ``warp_sizes``/``thread_sizes`` grids), so renderers can show
+        ``-`` instead of crashing on the paper's quoted cells.
+        """
+        cycles = self.cycles.get((warps, threads))
+        if cycles is None:
+            return float("nan")
+        return cycles / self.cycles[self.best]
 
     def render(self) -> str:
         return render_heatmap(
@@ -66,7 +89,7 @@ def _launch_vecadd(config: VortexConfig, n: int,
     bench = get_benchmark("vecadd")
     ctx = Context(VortexBackend(config, profiler=profiler))
     prog = ctx.program(bench.build())
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(SWEEP_SEED)
     a = ctx.buffer(rng.random(n, dtype=np.float32))
     b = ctx.buffer(rng.random(n, dtype=np.float32))
     c = ctx.alloc(n)
@@ -80,7 +103,7 @@ def _launch_transpose(config: VortexConfig, dim: int,
     bench = get_benchmark("transpose")
     ctx = Context(VortexBackend(config, profiler=profiler))
     prog = ctx.program(bench.build())
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(SWEEP_SEED)
     src = ctx.buffer(rng.random(dim * dim, dtype=np.float32))
     dst = ctx.alloc(dim * dim)
     cap = config.warps * config.threads
@@ -91,6 +114,31 @@ def _launch_transpose(config: VortexConfig, dim: int,
     return stats.cycles, stats.extra.get("lsu_replays", 0)
 
 
+def sweep_point(benchmark: str, config: VortexConfig, n: int,
+                profile: bool = False) -> dict:
+    """One grid cell — the engine's (picklable, module-level) unit of work.
+
+    Returns ``{"cycles", "lsu_stalls"}`` plus, when ``profile`` is set, a
+    ``"report"`` :class:`~repro.profiling.ProfileReport` recorded by a
+    profiler private to this point (per-worker profiling: each parallel
+    worker builds its own profiler and ships the report back, so the
+    collected traces are identical to a serial run's).
+    """
+    profiler = Profiler() if profile else NULL_PROFILER
+    if benchmark == "vecadd":
+        cycles, stalls = _launch_vecadd(config, n, profiler)
+    else:
+        dim = int(round(n ** 0.5))
+        dim -= dim % 16
+        cycles, stalls = _launch_transpose(config, max(dim, 16), profiler)
+    result = {"cycles": cycles, "lsu_stalls": stalls}
+    if profile:
+        result["report"] = profiler.report(
+            title=f"{benchmark} w={config.warps} t={config.threads}",
+            backend="simx")
+    return result
+
+
 def run_sweep(
     benchmark: str = "vecadd",
     cores: int = 4,
@@ -99,6 +147,9 @@ def run_sweep(
     thread_sizes: tuple[int, ...] = THREAD_SIZES,
     base_config: VortexConfig | None = None,
     profile_dir: str | Path | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    engine: ExperimentEngine | None = None,
 ) -> SweepResult:
     """Sweep one benchmark over the (warps, threads) grid.
 
@@ -106,49 +157,80 @@ def run_sweep(
     :class:`~repro.profiling.Profiler` and its Chrome trace plus summary
     JSON land in that directory (``<bench>_w<warps>_t<threads>.*``), so
     any cell of the Figure 7 heatmap can be inspected cycle by cycle.
+
+    ``jobs`` fans the grid cells across worker processes and ``cache``
+    memoises them on disk; both default to the serial, uncached
+    behaviour. Profiled runs bypass the cache — the traces are the
+    point, and they must be regenerated. Passing ``engine`` reuses an
+    existing :class:`ExperimentEngine` (its stats accumulate across
+    sweeps).
     """
     if benchmark not in ("vecadd", "transpose"):
         raise ValueError("the Figure 7 sweep covers vecadd and transpose")
     base = base_config or VortexConfig()
-    result = SweepResult(benchmark=benchmark)
-    if profile_dir is not None:
+    profile = profile_dir is not None
+    if profile:
         profile_dir = Path(profile_dir)
         profile_dir.mkdir(parents=True, exist_ok=True)
-    for w in warp_sizes:
-        for t in thread_sizes:
-            config = base.with_geometry(cores=cores, warps=w, threads=t)
-            profiler = NULL_PROFILER if profile_dir is None else Profiler()
-            if benchmark == "vecadd":
-                cycles, stalls = _launch_vecadd(config, n, profiler)
-            else:
-                dim = int(round(n ** 0.5))
-                dim -= dim % 16
-                cycles, stalls = _launch_transpose(
-                    config, max(dim, 16), profiler)
-            result.cycles[(w, t)] = cycles
-            result.lsu_stalls[(w, t)] = stalls
-            if profile_dir is not None:
-                report = profiler.report(
-                    title=f"{benchmark} w={w} t={t}", backend="simx")
-                stem = profile_dir / f"{benchmark}_w{w}_t{t}"
-                report.save_chrome_trace(stem.with_suffix(".trace.json"))
-                report.save_json(stem.with_suffix(".json"))
+    owns_engine = engine is None
+    if owns_engine:
+        engine = ExperimentEngine(jobs=jobs,
+                                  cache=None if profile else cache)
+
+    grid = [(w, t) for w in warp_sizes for t in thread_sizes]
+    points = []
+    keys: list[str | None] = []
+    for w, t in grid:
+        config = base.with_geometry(cores=cores, warps=w, threads=t)
+        points.append((benchmark, config, n, profile))
+        keys.append(
+            None if engine.cache is None or profile
+            else engine.cache.key(
+                kind="fig7-cell", benchmark=benchmark, config=config,
+                n=n, seed=SWEEP_SEED,
+            )
+        )
+    try:
+        values = engine.run(sweep_point, points, keys=keys,
+                            label=f"fig7 {benchmark}")
+    finally:
+        if owns_engine:
+            engine.close()
+
+    result = SweepResult(benchmark=benchmark, engine_stats=engine.stats)
+    for (w, t), value in zip(grid, values):
+        result.cycles[(w, t)] = value["cycles"]
+        result.lsu_stalls[(w, t)] = value["lsu_stalls"]
+        if profile:
+            stem = profile_dir / f"{benchmark}_w{w}_t{t}"
+            report = value["report"]
+            report.save_chrome_trace(stem.with_suffix(".trace.json"))
+            report.save_json(stem.with_suffix(".json"))
     return result
 
 
+def _ratio_cell(measured: float, paper: float) -> str:
+    meas = "-" if math.isnan(measured) else f"{measured:.2f}"
+    ref = "-" if math.isnan(paper) else f"{paper:.2f}"
+    return f"{meas} / {ref}"
+
+
 def render_comparison(results: list[SweepResult]) -> str:
-    """Side-by-side measured-vs-paper ratio table."""
+    """Side-by-side measured-vs-paper ratio table.
+
+    Cells the sweep did not cover (custom grids) render as ``-``.
+    """
     rows = []
     for res in results:
         paper = PAPER_FIG7[res.benchmark]
+        subopt = (8, 8) if res.benchmark == "vecadd" else (4, 4)
         rows.append([
             res.benchmark,
             f"{res.best}",
             f"{paper['best']}",
-            f"{res.ratio(8, 8):.2f} / {paper.get((8, 8), float('nan')):.2f}"
-            if res.benchmark == "vecadd" else
-            f"{res.ratio(4, 4):.2f} / {paper.get((4, 4), float('nan')):.2f}",
-            f"{res.ratio(8, 4):.2f} / {paper.get((8, 4), float('nan')):.2f}",
+            _ratio_cell(res.ratio(*subopt),
+                        paper.get(subopt, float("nan"))),
+            _ratio_cell(res.ratio(8, 4), paper.get((8, 4), float("nan"))),
         ])
     return render_table(
         ["benchmark", "best (measured)", "best (paper)",

@@ -123,6 +123,71 @@ class ProfileReport:
         path.write_text(json.dumps(self.to_json(), indent=2, default=str))
         return path
 
+    # -- lossless round-trip (result-cache storage) ------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        """Lossless JSON-serialisable form (unlike :meth:`to_json`,
+        which summarises events); :meth:`from_payload` reverses it, so
+        the experiment result cache can memoise whole profiled runs and
+        replay byte-identical reports and traces."""
+        return {
+            "title": self.title,
+            "backend": self.backend,
+            "counters": dict(self.counters),
+            "events": [
+                [e.name, e.cat, e.ph, e.ts, e.dur, e.pid, e.tid,
+                 _encode(e.args)]
+                for e in self.events
+            ],
+            "meta": {k: _encode(v) for k, v in self.meta.items()},
+            "process_names": [[pid, name]
+                              for pid, name in self.process_names.items()],
+            "thread_names": [[pid, tid, name]
+                             for (pid, tid), name
+                             in self.thread_names.items()],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "ProfileReport":
+        return cls(
+            title=payload["title"],
+            backend=payload["backend"],
+            counters=dict(payload["counters"]),
+            events=[
+                TraceEvent(name, cat, ph, ts, dur, pid, tid, _decode(args))
+                for name, cat, ph, ts, dur, pid, tid, args
+                in payload["events"]
+            ],
+            meta={k: _decode(v) for k, v in payload["meta"].items()},
+            process_names={int(pid): name
+                           for pid, name in payload["process_names"]},
+            thread_names={(int(pid), int(tid)): name
+                          for pid, tid, name in payload["thread_names"]},
+        )
+
+
+def _encode(value: Any) -> Any:
+    """JSON-encode preserving tuples (tagged), so renders that embed
+    ``str(meta_value)`` — e.g. ``global_size: (256, 1, 1)`` — come back
+    byte-identical from the cache."""
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _encode(v) for k, v in value.items()}
+    return value
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"__tuple__"}:
+            return tuple(_decode(v) for v in value["__tuple__"])
+        return {k: _decode(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode(v) for v in value]
+    return value
+
 
 def _fmt(value: float) -> str:
     if isinstance(value, float) and not value.is_integer():

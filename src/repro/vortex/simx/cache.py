@@ -23,8 +23,11 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        # Divide by the independent ``accesses`` counter, not the
+        # hits+misses sum: the two are meant to be identical, and using
+        # ``accesses`` means the rate cannot silently mask a broken
+        # split (the invariant tests pin them equal).
+        return self.hits / self.accesses if self.accesses else 0.0
 
 
 class Cache:
@@ -58,6 +61,14 @@ class Cache:
         set_idx = line % self.sets
         tag = line // self.sets
         self._tick += 1
+        # If the tag is already resident (two outstanding misses on the
+        # same line both filling), refresh that way instead of
+        # allocating the line into a second one — duplicate residency
+        # would silently halve the set's effective associativity.
+        resident = np.nonzero(self.tags[set_idx] == tag)[0]
+        if len(resident):
+            self.lru[set_idx, resident[0]] = self._tick
+            return
         victim = int(np.argmin(self.lru[set_idx]))
         self.tags[set_idx, victim] = tag
         self.lru[set_idx, victim] = self._tick

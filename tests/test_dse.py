@@ -10,6 +10,11 @@ from repro.vortex import KernelProfile, VortexConfig
 from repro.benchmarks import get_benchmark
 
 
+def _fake_simulate(config):
+    """Deterministic, spawn-picklable stand-in for a SimX run."""
+    return config.cores * 1000 + config.warps * 10 + config.threads
+
+
 @pytest.fixture(scope="module")
 def profile():
     bench = get_benchmark("vecadd")
@@ -67,6 +72,40 @@ class TestExploration:
         best = result.best
         assert best.prediction.cycles == min(
             c.prediction.cycles for c in result.candidates)
+
+    def test_all_rejected_raises_descriptive_error(self, profile):
+        from repro.errors import ExplorationError, SynthesisError
+
+        # Geometries far beyond the SX2800: every point area-rejected.
+        result = explore_design_space(
+            profile, device=STRATIX10_SX2800,
+            core_counts=(64, 128), warp_sizes=(16,), thread_sizes=(16,),
+        )
+        assert not result.candidates
+        with pytest.raises(ExplorationError) as exc:
+            result.best
+        assert isinstance(exc.value, SynthesisError)
+        assert STRATIX10_SX2800.name in str(exc.value)
+        assert exc.value.rejection_counts
+        assert sum(exc.value.rejection_counts.values()) == len(
+            result.rejected)
+
+    def test_parallel_verification_matches_serial(self, profile):
+        serial = explore_design_space(
+            profile, core_counts=(2,), warp_sizes=(2, 4),
+            thread_sizes=(4,), simulate_top=2, simulate=_fake_simulate,
+            jobs=1,
+        )
+        parallel = explore_design_space(
+            profile, core_counts=(2,), warp_sizes=(2, 4),
+            thread_sizes=(4,), simulate_top=2, simulate=_fake_simulate,
+            jobs=2,
+        )
+        serial_cycles = {c.config.label(): c.simulated_cycles
+                         for c in serial.candidates}
+        parallel_cycles = {c.config.label(): c.simulated_cycles
+                          for c in parallel.candidates}
+        assert serial_cycles == parallel_cycles
 
     def test_render(self, profile):
         result = explore_design_space(profile, core_counts=(2,),

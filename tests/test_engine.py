@@ -1,0 +1,258 @@
+"""Tests for the parallel experiment engine and the on-disk result cache.
+
+The contract under test: parallel execution is bit-identical to serial
+execution, cached re-runs execute zero simulator points, and a changed
+code fingerprint invalidates every cached entry.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.engine import EngineStats, ExperimentEngine, resolve_jobs
+from repro.harness.result_cache import MISS, ResultCache, code_fingerprint
+from repro.harness.sweep import run_sweep
+
+
+def _add(a, b):
+    """Module-level (hence spawn-picklable) point function."""
+    return a + b
+
+
+# -- result cache ------------------------------------------------------------
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key(benchmark="vecadd", n=512)
+        assert cache.get(key) is MISS
+        cache.put(key, {"cycles": 123})
+        assert cache.get(key) == {"cycles": 123}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_key_is_stable_and_order_insensitive(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f")
+        assert cache.key(a=1, b=(2, 3)) == cache.key(b=(2, 3), a=1)
+        assert cache.key(a=1) != cache.key(a=2)
+
+    def test_dataclass_parts_hash_by_value(self, tmp_path):
+        from repro.vortex import VortexConfig
+
+        cache = ResultCache(tmp_path, fingerprint="f")
+        k1 = cache.key(config=VortexConfig(cores=2))
+        k2 = cache.key(config=VortexConfig(cores=2))
+        k3 = cache.key(config=VortexConfig(cores=4))
+        assert k1 == k2 != k3
+
+    def test_fingerprint_changes_every_key(self, tmp_path):
+        old = ResultCache(tmp_path, fingerprint="rev-a")
+        new = ResultCache(tmp_path, fingerprint="rev-b")
+        key = old.key(benchmark="vecadd")
+        old.put(key, 1)
+        assert new.get(new.key(benchmark="vecadd")) is MISS
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key(x=1)
+        cache.put(key, 42)
+        cache._path(key).write_text("{not json")
+        assert cache.get(key) is MISS
+
+    def test_code_fingerprint_is_deterministic(self):
+        fp = code_fingerprint()
+        assert fp == code_fingerprint()
+        assert len(fp) == 64 and int(fp, 16) >= 0
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache.key(x=1), 1)
+        cache.put(cache.key(x=2), 2)
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+
+# -- engine ------------------------------------------------------------------
+
+class TestEngine:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+    def test_serial_preserves_order_and_allows_closures(self):
+        engine = ExperimentEngine(jobs=1)
+        seen = []
+
+        def fn(x):
+            seen.append(x)
+            return x * 10
+
+        assert engine.run(fn, [(3,), (1,), (2,)]) == [30, 10, 20]
+        assert seen == [3, 1, 2]
+        assert engine.stats.executed == 3
+
+    def test_parallel_matches_serial(self):
+        points = [(i, i + 1) for i in range(6)]
+        serial = ExperimentEngine(jobs=1).run(_add, points)
+        parallel = ExperimentEngine(jobs=2).run(_add, points)
+        assert serial == parallel == [a + b for a, b in points]
+
+    def test_pool_reused_across_runs_and_closed(self):
+        with ExperimentEngine(jobs=2) as engine:
+            assert engine.run(_add, [(1, 2), (3, 4)]) == [3, 7]
+            pool = engine._pool
+            assert pool is not None
+            assert engine.run(_add, [(5, 6), (7, 8)]) == [11, 15]
+            assert engine._pool is pool
+        assert engine._pool is None
+        engine.close()  # idempotent
+
+    def test_cache_short_circuits_execution(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f")
+        keys = [cache.key(point=p) for p in range(3)]
+        points = [(p, p) for p in range(3)]
+
+        first = ExperimentEngine(jobs=1, cache=cache)
+        assert first.run(_add, points, keys=keys) == [0, 2, 4]
+        assert first.stats.executed == 3 and first.stats.cache_hits == 0
+
+        def exploding(a, b):
+            raise AssertionError("must not execute on a warm cache")
+
+        second = ExperimentEngine(jobs=1, cache=cache)
+        assert second.run(exploding, points, keys=keys) == [0, 2, 4]
+        assert second.stats.executed == 0 and second.stats.cache_hits == 3
+
+    def test_none_key_skips_cache(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f")
+        engine = ExperimentEngine(jobs=1, cache=cache)
+        engine.run(_add, [(1, 1)], keys=[None])
+        assert engine.stats.cache_stores == 0 and len(cache) == 0
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentEngine(jobs=1).run(_add, [(1, 1)], keys=[])
+
+    def test_stats_merge_and_summary(self):
+        a = EngineStats(jobs=1, points=2, executed=2, wall_s=1.0)
+        b = EngineStats(jobs=4, points=3, cache_hits=3, cache_dir="/c")
+        a.merge(b)
+        assert (a.jobs, a.points, a.executed, a.cache_hits) == (4, 5, 2, 3)
+        assert "5 points" in a.summary() and "3 cache hits" in a.summary()
+
+
+# -- sweep through the engine ------------------------------------------------
+
+GRID = dict(cores=2, n=512, warp_sizes=(2, 4), thread_sizes=(2, 4))
+
+
+class TestSweepEngine:
+    def test_parallel_sweep_bit_identical_to_serial(self):
+        serial = run_sweep("vecadd", jobs=1, **GRID)
+        parallel = run_sweep("vecadd", jobs=4, **GRID)
+        assert serial.cycles == parallel.cycles
+        assert serial.lsu_stalls == parallel.lsu_stalls
+        assert serial.render() == parallel.render()
+
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        cold = run_sweep("vecadd", cache=ResultCache(tmp_path), **GRID)
+        assert cold.engine_stats.executed == 4
+        warm = run_sweep("vecadd", cache=ResultCache(tmp_path), **GRID)
+        assert warm.engine_stats.executed == 0
+        assert warm.engine_stats.cache_hits == 4
+        assert warm.cycles == cold.cycles
+
+    def test_code_fingerprint_change_invalidates(self, tmp_path):
+        run_sweep("vecadd", cache=ResultCache(tmp_path), **GRID)
+        changed = run_sweep(
+            "vecadd", cache=ResultCache(tmp_path, fingerprint="edited"),
+            **GRID)
+        assert changed.engine_stats.cache_hits == 0
+        assert changed.engine_stats.executed == 4
+
+    def test_profiled_sweep_bypasses_cache_and_matches_serial(
+            self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", fingerprint="f")
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        run_sweep("vecadd", profile_dir=serial_dir, jobs=1,
+                  cache=cache, **GRID)
+        assert len(cache) == 0, "profiled points must not be memoised"
+        run_sweep("vecadd", profile_dir=parallel_dir, jobs=2,
+                  cache=cache, **GRID)
+        serial_files = sorted(p.name for p in serial_dir.iterdir())
+        assert serial_files == sorted(
+            p.name for p in parallel_dir.iterdir())
+        assert len(serial_files) == 8  # 4 cells x (trace + summary)
+        for name in serial_files:
+            assert ((serial_dir / name).read_bytes()
+                    == (parallel_dir / name).read_bytes()), name
+
+
+# -- cached profile harness --------------------------------------------------
+
+class TestProfileCache:
+    def test_cached_profile_replays_identically(self, tmp_path):
+        from repro.harness import run_profile_cached
+
+        rep1, sum1, hit1 = run_profile_cached(
+            "vecadd", backend="simx", cache=ResultCache(tmp_path))
+        rep2, sum2, hit2 = run_profile_cached(
+            "vecadd", backend="simx", cache=ResultCache(tmp_path))
+        assert (hit1, hit2) == (False, True)
+        assert sum1 == sum2
+        assert rep1.render() == rep2.render()
+        assert json.dumps(rep1.chrome_trace()) == json.dumps(
+            rep2.chrome_trace())
+
+
+# -- CLI ---------------------------------------------------------------------
+
+class TestCLI:
+    def test_fig7_jobs_and_cache_flags(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        argv = ["fig7", "--warp-sizes", "2,4", "--thread-sizes", "2",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv + ["--jobs", "2"]) == 0
+        cold = capsys.readouterr().out
+        assert "4 points, 4 executed, 0 cache hits" in cold
+        # quoted paper cells are outside this grid: render "-", not crash
+        assert "- / 1.27" in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "4 points, 0 executed, 4 cache hits" in warm
+        # identical artifact body (everything above the engine summary)
+        strip = (lambda out: out[:out.rindex("engine:")])
+        assert strip(cold) == strip(warm)
+
+    def test_fig7_no_cache_flag(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        argv = ["fig7", "--warp-sizes", "2", "--thread-sizes", "2",
+                "--cache-dir", str(tmp_path), "--no-cache"]
+        assert main(argv) == 0
+        assert "2 points, 2 executed, 0 cache hits" in capsys.readouterr().out
+        assert len(ResultCache(tmp_path)) == 0
+
+    def test_fig7_bad_size_list_rejected(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["fig7", "--warp-sizes", "two"])
+
+    def test_profile_cache_hit_is_reported(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        argv = ["profile", "vecadd", "--backend", "simx",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--trace-out", str(tmp_path / "p.trace.json")]
+        assert main(argv) == 0
+        assert "cache hit" not in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "result cache hit: no simulation ran" in (
+            capsys.readouterr().out)

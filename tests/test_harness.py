@@ -91,3 +91,18 @@ class TestSweepSmoke:
     def test_unknown_benchmark_rejected(self):
         with pytest.raises(ValueError):
             run_sweep("sgemm")
+
+    def test_custom_grid_renders_missing_cells_as_dash(self):
+        # A sweep that omits the paper's quoted cells (8,8)/(4,4)/(8,4)
+        # must render "-" in the comparison table, not KeyError.
+        import math
+
+        from repro.harness import render_comparison
+
+        result = run_sweep("vecadd", cores=2, n=512,
+                           warp_sizes=(2,), thread_sizes=(2, 4))
+        assert math.isnan(result.ratio(8, 8))
+        assert math.isnan(result.ratio(8, 4))
+        table = render_comparison([result])
+        assert "- / 1.27" in table
+        assert "- / 1.11" in table

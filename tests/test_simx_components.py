@@ -135,6 +135,28 @@ class TestCache:
         c.invalidate_all()
         assert not c.lookup(0)
 
+    def test_double_fill_does_not_duplicate_line(self):
+        # Two outstanding misses on the same line both fill on return;
+        # the second fill must refresh the resident way, not allocate
+        # the tag into a second one (which would silently halve the
+        # set's effective associativity).
+        c = Cache(size=256, ways=2, line_size=64)  # 2 sets x 2 ways
+        c.fill(0)
+        c.fill(0)
+        assert (c.tags[0] == 0).sum() == 1
+        c.fill(128)  # second distinct line fits in the same set
+        assert c.lookup(0)
+        assert c.lookup(128)
+
+    def test_refill_refreshes_lru(self):
+        c = Cache(size=256, ways=2, line_size=64)
+        c.fill(0)    # way A <- tag of line 0
+        c.fill(128)  # way B <- tag of line 128
+        c.fill(0)    # refreshes way A
+        c.fill(256)  # evicts the LRU line, which is now 128
+        assert c.lookup(0)
+        assert not c.lookup(128)
+
     @given(st.lists(st.integers(0, 63), min_size=1, max_size=200))
     @settings(max_examples=25, deadline=None)
     def test_stats_consistency(self, lines):

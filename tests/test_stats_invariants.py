@@ -105,6 +105,14 @@ def test_zero_access_rates_are_zero_not_nan():
     assert DRAMStats().row_hit_rate == 0.0
 
 
+def test_hit_rate_divides_by_the_accesses_counter():
+    # hit_rate is defined against the independent ``accesses`` counter,
+    # not the hits+misses sum, so the rate and the split invariant
+    # (hits + misses == accesses) can never disagree silently.
+    assert CacheStats(accesses=10, hits=4, misses=6).hit_rate == 0.4
+    assert CacheStats(accesses=10, hits=5, misses=0).hit_rate == 0.5
+
+
 # -- machine-level invariants ------------------------------------------------
 
 @pytest.mark.parametrize("name", sorted(_KERNELS))
