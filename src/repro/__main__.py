@@ -40,6 +40,23 @@ def _jobs(args: argparse.Namespace | None) -> int:
     return resolve_jobs(getattr(args, "jobs", 1) if args else 1)
 
 
+def _policy(args: argparse.Namespace | None) -> dict:
+    """Engine fault-tolerance policy from the CLI flags.
+
+    The CLI defaults to ``--keep-going`` (the library default is
+    fail-fast): a hand-run campaign should render every row it can and
+    mark the rest ERROR, exactly as the paper's Table I records
+    failures instead of omitting them.
+    """
+    if args is None:
+        return dict(retries=0, point_timeout=None, keep_going=True)
+    return dict(
+        retries=getattr(args, "retries", 0),
+        point_timeout=getattr(args, "point_timeout", None),
+        keep_going=getattr(args, "keep_going", True),
+    )
+
+
 def _sizes(spec: str, default: tuple[int, ...]) -> tuple[int, ...]:
     if not spec:
         return default
@@ -55,14 +72,18 @@ def _sizes(spec: str, default: tuple[int, ...]) -> tuple[int, ...]:
 def _table1(args: argparse.Namespace | None = None) -> int:
     from .harness import run_coverage
 
-    report = run_coverage(jobs=_jobs(args), cache=_make_cache(args))
+    report = run_coverage(jobs=_jobs(args), cache=_make_cache(args),
+                          **_policy(args))
     print(report.render())
     print(f"\nVortex {report.vortex_passes}/28, "
           f"Intel SDK {report.hls_passes}/28; "
           f"matches paper: {report.matches_paper()}")
+    if report.errors:
+        print(f"{report.errors} row(s) hit an engine-level ERROR "
+              f"(crash/timeout after retries)")
     if report.engine_stats is not None:
         print(report.engine_stats.summary())
-    return 0
+    return 1 if report.errors else 0
 
 
 def _table2(args: argparse.Namespace | None = None) -> int:
@@ -102,8 +123,8 @@ def _fig7(args: argparse.Namespace | None = None) -> int:
     # One engine for both benchmarks: the run summary aggregates the
     # whole figure (32 points by default) and the worker pool is spun
     # up once, not per benchmark.
-    with ExperimentEngine(jobs=_jobs(args),
-                          cache=_make_cache(args)) as engine:
+    with ExperimentEngine(jobs=_jobs(args), cache=_make_cache(args),
+                          **_policy(args)) as engine:
         results = []
         for benchmark in ("vecadd", "transpose"):
             result = run_sweep(benchmark, warp_sizes=warp_sizes,
@@ -114,7 +135,7 @@ def _fig7(args: argparse.Namespace | None = None) -> int:
         print(render_comparison(results))
         print()
         print(engine.stats.summary())
-    return 0
+        return 1 if engine.stats.failed else 0
 
 
 def _profile(args: argparse.Namespace) -> int:
@@ -139,6 +160,7 @@ def _profile(args: argparse.Namespace) -> int:
             cycle_bucket=args.bucket,
             validate=not args.no_validate,
             cache=_make_cache(args),
+            retries=_policy(args)["retries"],
         )
     except (ReproError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -190,6 +212,26 @@ def _build_parser() -> argparse.ArgumentParser:
     engine_flags.add_argument(
         "--no-cache", action="store_true",
         help="ignore --cache-dir / REPRO_CACHE_DIR for this run")
+    engine_flags.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry a failed experiment point up to N times with "
+             "exponential backoff before recording it as an ERROR "
+             "(recovers transient faults and killed workers)")
+    engine_flags.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point watchdog: a point running longer is cancelled "
+             "(its stuck worker pool is torn down and respawned) and "
+             "counts as failed/retried")
+    policy = engine_flags.add_mutually_exclusive_group()
+    policy.add_argument(
+        "--keep-going", dest="keep_going", action="store_true",
+        default=True,
+        help="render failed points as ERROR rows/cells and finish the "
+             "campaign (default; exit status 1 if anything failed)")
+    policy.add_argument(
+        "--fail-fast", dest="keep_going", action="store_false",
+        help="abort the whole campaign on the first failed point "
+             "(completed points stay in the cache, so a re-run resumes)")
 
     for name, fn in _ARTIFACTS.items():
         parents = [engine_flags] if name in ("table1", "fig7") else []
@@ -237,13 +279,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from .errors import ExperimentAborted
+
     args = _build_parser().parse_args(argv)
     if args.command == "all":
         for name in ("table1", "table2", "table3", "table4", "fig7"):
             print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
             _ARTIFACTS[name](None)
         return 0
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ExperimentAborted as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.failure.traceback:
+            print(exc.failure.traceback, file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -8,6 +8,8 @@ with a machine-readable ``reason``).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
@@ -79,8 +81,74 @@ class ExplorationError(SynthesisError):
 
 
 class SimulationError(ReproError):
-    """The cycle-level simulator detected an illegal execution."""
+    """The cycle-level simulator detected an illegal execution.
+
+    Instances raised for a *stuck* machine (deadlock, cycle-limit
+    overrun) carry a ``warp_dump`` attribute: the rendered per-warp
+    state (core, warp id, PC, active mask, barrier/stall reason) at the
+    moment the simulation gave up, so a hung configuration in a sweep is
+    debuggable from the error row alone.
+    """
+
+    #: rendered per-warp machine state, set when the machine was stuck.
+    warp_dump: str = ""
 
 
 class TrapError(SimulationError):
     """A simulated Vortex core executed an illegal/unaligned operation."""
+
+
+@dataclass
+class PointFailure:
+    """Structured capture of one failed experiment point.
+
+    The experiment engine turns a point that exhausted its retry budget
+    into one of these instead of propagating (or losing) the exception:
+    harness consumers render it as an ``ERROR(...)`` row/cell and the
+    campaign keeps going. The payload is plain strings and ints so it is
+    picklable across worker processes and byte-identical between serial
+    and parallel runs of the same fault plan.
+    """
+
+    #: exception class name (``"SimulationError"``, ``"PointTimeout"``,
+    #: ``"WorkerCrashed"``, ...).
+    exc_type: str
+    message: str
+    traceback: str = ""
+    #: total attempts made (1 = failed on the only attempt).
+    attempts: int = 1
+
+    def brief(self) -> str:
+        """Compact ``ERROR(type: message)`` form for table cells."""
+        return f"ERROR({self.exc_type}: {self.message})"
+
+    def to_payload(self) -> dict:
+        return {"exc_type": self.exc_type, "message": self.message,
+                "traceback": self.traceback, "attempts": self.attempts}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PointFailure":
+        return cls(exc_type=payload["exc_type"],
+                   message=payload["message"],
+                   traceback=payload.get("traceback", ""),
+                   attempts=payload.get("attempts", 1))
+
+
+class ExperimentAborted(ReproError):
+    """A point failed under the engine's fail-fast policy.
+
+    Raised instead of the (possibly remote, possibly unpicklable)
+    original exception; carries the :class:`PointFailure` so callers can
+    inspect the captured type/message/traceback. Points that completed
+    before the abort were already committed to the result cache, so a
+    re-run resumes from where the campaign died.
+    """
+
+    def __init__(self, label: str, failure: PointFailure):
+        self.label = label
+        self.failure = failure
+        super().__init__(
+            f"experiment {label!r} aborted: point failed after "
+            f"{failure.attempts} attempt(s): {failure.exc_type}: "
+            f"{failure.message}"
+        )

@@ -22,9 +22,19 @@ from .case_study import (
     run_auto_cse_ablation,
     run_case_study,
 )
+from ..errors import ExperimentAborted, PointFailure
 from .coverage import PAPER_TABLE1, CoverageReport, run_coverage
 from .dse import Candidate, DSEResult, explore_design_space
 from .engine import EngineStats, ExperimentEngine, resolve_jobs
+from .faults import (
+    FAULT_PLAN_ENV,
+    FAULT_STATE_ENV,
+    FaultInjected,
+    FaultSpec,
+    corrupt_cache_entry,
+    maybe_fault,
+    parse_plan,
+)
 from .profile import (
     PROFILE_BACKENDS,
     make_profiled_backend,
@@ -41,8 +51,17 @@ __all__ = [
     "CoverageReport",
     "DSEResult",
     "EngineStats",
+    "ExperimentAborted",
     "ExperimentEngine",
+    "FAULT_PLAN_ENV",
+    "FAULT_STATE_ENV",
+    "FaultInjected",
+    "FaultSpec",
+    "PointFailure",
     "ResultCache",
+    "corrupt_cache_entry",
+    "maybe_fault",
+    "parse_plan",
     "code_fingerprint",
     "resolve_jobs",
     "run_profile_cached",

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..benchmarks import all_benchmarks, get_benchmark, run_benchmark
+from ..errors import PointFailure
 from ..hls import HLSBackend, STRATIX10_MX2100
 from ..vortex import VortexBackend, VortexConfig
 from .engine import EngineStats, ExperimentEngine
@@ -54,9 +55,14 @@ class CoverageCell:
     passed: bool
     reason: str = ""
     detail: str = ""
+    #: the experiment point itself failed (crash/timeout), as opposed
+    #: to the benchmark legitimately failing on the flow.
+    error: bool = False
 
     @property
     def mark(self) -> str:
+        if self.error:
+            return "E"
         return "O" if self.passed else "X"
 
 
@@ -75,6 +81,11 @@ class CoverageReport:
     @property
     def hls_passes(self) -> int:
         return sum(1 for _, h in self.rows.values() if h.passed)
+
+    @property
+    def errors(self) -> int:
+        """Rows whose experiment point failed (engine-level ERROR)."""
+        return sum(1 for v, h in self.rows.values() if v.error or h.error)
 
     def matches_paper(self) -> bool:
         """True if every pass/fail cell and failure reason matches the
@@ -112,12 +123,18 @@ def _cell(result) -> CoverageCell:
 
 def _cell_payload(cell: CoverageCell) -> dict:
     return {"passed": cell.passed, "reason": cell.reason,
-            "detail": cell.detail}
+            "detail": cell.detail, "error": cell.error}
 
 
 def _cell_from_payload(payload: dict) -> CoverageCell:
     return CoverageCell(passed=payload["passed"], reason=payload["reason"],
-                        detail=payload["detail"])
+                        detail=payload["detail"],
+                        error=payload.get("error", False))
+
+
+def _error_cell(failure: PointFailure) -> CoverageCell:
+    return CoverageCell(passed=False, reason=f"ERROR({failure.exc_type})",
+                        detail=failure.message, error=True)
 
 
 def coverage_point(bench_name: str, scale: int, validate: bool,
@@ -145,12 +162,21 @@ def run_coverage(
     validate: bool = True,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    retries: int = 0,
+    point_timeout: float | None = None,
+    keep_going: bool = False,
 ) -> CoverageReport:
     """Regenerate Table I (validating outputs on both flows).
 
     The 28 benchmark rows are independent experiment points: ``jobs``
     fans them across worker processes and ``cache`` memoises each row
     (the row payload is plain JSON, so it round-trips losslessly).
+
+    ``retries``/``point_timeout``/``keep_going`` configure the engine's
+    fault-tolerance policy: under ``keep_going`` a row whose point
+    crashed or timed out (after retries) renders as ``E`` cells with an
+    ``ERROR(...)`` reason and counts in :attr:`CoverageReport.errors`,
+    instead of aborting the whole table.
     """
     benches = all_benchmarks()
     points = [(bench.name, scale, validate, vortex_config)
@@ -162,11 +188,17 @@ def run_coverage(
         )
         for bench in benches
     ]
-    with ExperimentEngine(jobs=jobs, cache=cache) as engine:
+    with ExperimentEngine(jobs=jobs, cache=cache, retries=retries,
+                          point_timeout=point_timeout,
+                          keep_going=keep_going) as engine:
         values = engine.run(coverage_point, points, keys=keys,
                             label="table1")
     report = CoverageReport(engine_stats=engine.stats)
-    for value in values:
+    for bench, value in zip(benches, values):
+        if isinstance(value, PointFailure):
+            report.rows[bench.table_name] = (_error_cell(value),
+                                             _error_cell(value))
+            continue
         report.rows[value["table_name"]] = (
             _cell_from_payload(value["vortex"]),
             _cell_from_payload(value["hls"]),

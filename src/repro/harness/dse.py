@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import ExplorationError, SynthesisError
+from ..errors import ExplorationError, PointFailure, SynthesisError
 from ..hls.device import FPGADevice, STRATIX10_SX2800
 from ..profiling import Profiler, ensure_profiler
 from ..vortex.analytical import KernelProfile, Prediction, predict
@@ -39,6 +39,9 @@ class Candidate:
     area: VortexAreaReport
     prediction: Prediction
     simulated_cycles: int | None = None
+    #: ``ERROR(...)`` note when the verification simulation failed
+    #: (after retries) under the engine's ``keep_going`` policy.
+    sim_error: str | None = None
 
     @property
     def geometry(self) -> tuple[int, int, int]:
@@ -84,7 +87,8 @@ class DSEResult:
                 f"{cand.area.aluts:,}",
                 f"{cand.area.brams:,}",
                 f"{cand.simulated_cycles:,}"
-                if cand.simulated_cycles is not None else "-",
+                if cand.simulated_cycles is not None
+                else (cand.sim_error or "-"),
             ])
         return render_table(
             ["config", "predicted cycles", "bottleneck", "ALUTs", "BRAMs",
@@ -108,6 +112,9 @@ def explore_design_space(
     simulate=None,
     profiler: Profiler | None = None,
     jobs: int = 1,
+    retries: int = 0,
+    point_timeout: float | None = None,
+    keep_going: bool = False,
 ) -> DSEResult:
     """Enumerate (C, W, T), filter by area, rank analytically.
 
@@ -117,6 +124,12 @@ def explore_design_space(
     of the loop — fan out across the experiment engine's worker pool;
     ``simulate`` must then be a picklable module-level callable
     (closures still work in the default serial path).
+
+    ``retries``/``point_timeout``/``keep_going`` configure the fault
+    policy of those verification runs: under ``keep_going`` a failed
+    simulation leaves the candidate unverified with an ``ERROR(...)``
+    note in :attr:`Candidate.sim_error` instead of aborting the
+    exploration.
 
     ``profiler`` (optional) records the exploration itself: counters for
     enumerated/feasible/rejected points and wall-clock spans around the
@@ -152,19 +165,30 @@ def explore_design_space(
                         key=lambda cand: cand.prediction.cycles)
         top = ranked[:simulate_top]
         if jobs > 1 and len(top) > 1:
-            with ExperimentEngine(jobs=jobs, profiler=profiler) as engine:
+            with ExperimentEngine(jobs=jobs, profiler=profiler,
+                                  retries=retries,
+                                  point_timeout=point_timeout,
+                                  keep_going=keep_going) as engine:
                 cycles = engine.run(simulate,
                                     [(cand.config,) for cand in top],
                                     label="dse verify")
             for cand, sim_cycles in zip(top, cycles):
-                cand.simulated_cycles = sim_cycles
+                if isinstance(sim_cycles, PointFailure):
+                    cand.sim_error = f"ERROR({sim_cycles.exc_type})"
+                else:
+                    cand.simulated_cycles = sim_cycles
             if prof.enabled:
                 prof.count("dse.simulated", len(top))
         else:
             for cand in top:
                 with prof.span(f"dse: simulate {cand.config.label()}",
                                cat="dse"):
-                    cand.simulated_cycles = simulate(cand.config)
+                    try:
+                        cand.simulated_cycles = simulate(cand.config)
+                    except Exception as exc:
+                        if not keep_going:
+                            raise
+                        cand.sim_error = f"ERROR({type(exc).__name__})"
                 if prof.enabled:
                     prof.count("dse.simulated")
     return result

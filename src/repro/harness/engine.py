@@ -1,4 +1,4 @@
-"""Parallel, memoised experiment engine.
+"""Parallel, memoised, fault-tolerant experiment engine.
 
 The paper's experiment grids are embarrassingly parallel: the Figure 7
 sweep is 16 independent SimX runs per benchmark, Table I is 28
@@ -14,13 +14,50 @@ exploration verifies its top candidates with independent simulations.
 * ``--cache-dir`` makes repeated invocations return instantly, with
   automatic invalidation when the simulator source changes.
 
+The paper's headline result is *coverage* — which of 28 benchmarks each
+flow survives — so the engine must degrade per point rather than die
+mid-campaign. Fault tolerance is built in:
+
+* **structured failure capture** — a failing point becomes a
+  :class:`~repro.errors.PointFailure` (exception type, message,
+  traceback, attempt count) in the result list instead of a propagated
+  exception (``keep_going=True``), or raises
+  :class:`~repro.errors.ExperimentAborted` wrapping that payload
+  (the default fail-fast policy);
+* **bounded retries with exponential backoff** — ``retries=N`` re-runs
+  a failed point up to N more times before recording the failure;
+* **per-point watchdog timeout** — ``point_timeout=T`` cancels a point
+  running longer than T seconds (the stuck worker pool is torn down,
+  its processes terminated, and the innocent in-flight points
+  resubmitted on a fresh pool without being charged an attempt);
+* **worker-crash recovery** — a died worker (``BrokenProcessPool``)
+  poisons every in-flight future without naming the culprit, so the
+  engine respawns the pool and re-runs the lost points **solo** (one in
+  flight at a time): a repeat crash then identifies the killer exactly,
+  which is charged an attempt (and eventually recorded as a
+  ``WorkerCrashed`` failure), while the innocent bystanders complete
+  untouched;
+* **incremental cache commit** — every point's result is stored the
+  moment it completes, so an interrupted run resumes from where it
+  died, not from zero (failures are never cached: a re-run retries
+  them).
+
+Failure payloads are produced by the same wrapper
+(:func:`_call_point`) whether the point ran inline or in a worker, so a
+serial and a parallel run of the same fault plan yield **identical**
+``PointFailure`` payloads. Fault injection for tests hooks in at the
+same wrapper via :mod:`repro.harness.faults` (``REPRO_FAULT_PLAN``),
+which spawned workers inherit through the environment.
+
 Point functions must be **module-level callables with picklable
 arguments** — the engine uses the ``spawn`` start method by default so
 workers import a fresh interpreter (fork-safety with numpy/BLAS thread
 pools is not assumed), which is also what CI runners and macOS default
 to. With ``jobs=1`` everything runs inline in the calling process and
 no pickling is required, which keeps closures (e.g. test fakes) usable
-in the serial path.
+in the serial path. Inline execution cannot preempt a hung point, so
+there ``point_timeout`` is enforced *post hoc*: an overrunning point is
+recorded as the same ``PointTimeout`` failure, after it returns.
 
 Profiling composes per point, not per engine: a profiled point function
 creates its own :class:`~repro.profiling.Profiler` inside the worker
@@ -33,12 +70,17 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+import traceback as _tb
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Any, Callable, Sequence
 
+from ..errors import ExperimentAborted, PointFailure
 from ..profiling import Profiler, ensure_profiler
+from .faults import FAULT_PLAN_ENV
 from .result_cache import MISS, ResultCache
 
 __all__ = ["EngineStats", "ExperimentEngine", "resolve_jobs"]
@@ -62,6 +104,11 @@ class EngineStats:
     executed: int = 0
     cache_hits: int = 0
     cache_stores: int = 0
+    #: points that exhausted their retry budget and were recorded as
+    #: :class:`~repro.errors.PointFailure`.
+    failed: int = 0
+    #: retry attempts made (each resubmission of a charged point).
+    retried: int = 0
     wall_s: float = 0.0
     cache_dir: str = ""
 
@@ -71,6 +118,8 @@ class EngineStats:
         self.executed += other.executed
         self.cache_hits += other.cache_hits
         self.cache_stores += other.cache_stores
+        self.failed += other.failed
+        self.retried += other.retried
         self.wall_s += other.wall_s
         self.cache_dir = self.cache_dir or other.cache_dir
         return self
@@ -81,6 +130,8 @@ class EngineStats:
             f"{self.points} points",
             f"{self.executed} executed",
             f"{self.cache_hits} cache hits",
+            f"failed={self.failed}",
+            f"retried={self.retried}",
             f"jobs={self.jobs}",
             f"{self.wall_s:.1f}s",
         ]
@@ -96,10 +147,66 @@ class _Point:
     key: str | None = None
     value: Any = None
     cached: bool = False
+    #: fault-injection / diagnostics site name ("<label>#<index>").
+    site: str = ""
+    #: attempts made so far (submissions, serial or parallel).
+    attempts: int = 0
+    #: True once the point was finalised as a PointFailure.
+    failed: bool = False
+
+
+_OK, _ERR = "ok", "err"
+
+
+def _failure_payload(exc: BaseException) -> dict:
+    return {
+        "exc_type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": "".join(_tb.format_exception(exc)),
+    }
+
+
+def _timeout_payload(timeout: float) -> dict:
+    return {
+        "exc_type": "PointTimeout",
+        "message": f"point exceeded {timeout:g}s point-timeout",
+        "traceback": "",
+    }
+
+
+def _crash_payload() -> dict:
+    return {
+        "exc_type": "WorkerCrashed",
+        "message": "worker process died before the point completed "
+                   "(BrokenProcessPool)",
+        "traceback": "",
+    }
+
+
+def _noop() -> None:
+    """Warm-up task: booting a spawned worker is not point execution."""
+
+
+def _call_point(fn: Callable[..., Any], args: tuple, site: str):
+    """One attempt at one point, with structured failure capture.
+
+    Runs in the worker process under ``jobs > 1`` and inline otherwise,
+    so a failing point serialises to the same ``("err", payload)``
+    either way — same exception type, message and traceback, which is
+    what makes serial and parallel failure results byte-identical.
+    """
+    try:
+        if os.environ.get(FAULT_PLAN_ENV):
+            from .faults import maybe_fault
+            maybe_fault(site)
+        return _OK, fn(*args)
+    except Exception as exc:
+        return _ERR, _failure_payload(exc)
 
 
 class ExperimentEngine:
-    """Runs independent experiment points, in parallel and memoised.
+    """Runs independent experiment points: parallel, memoised, and
+    fault-tolerant (see the module docstring for the failure model).
 
     Parameters
     ----------
@@ -108,22 +215,48 @@ class ExperimentEngine:
         ``0`` means one per CPU.
     cache:
         Optional :class:`ResultCache`. Points that provide a cache key
-        are looked up before execution and stored after.
+        are looked up before execution and committed incrementally the
+        moment they complete (failures are never cached).
     start_method:
         ``multiprocessing`` start method for the pool (default
         ``"spawn"``; see module docstring).
     profiler:
         Optional profiler recording host-side spans and counters for
         the engine run itself.
+    retries:
+        Re-run a failed point up to this many extra times before
+        recording the failure (default 0).
+    point_timeout:
+        Watchdog seconds per point; ``None`` disables (default).
+    keep_going:
+        ``True`` turns exhausted failures into
+        :class:`~repro.errors.PointFailure` result values; ``False``
+        (default) raises :class:`~repro.errors.ExperimentAborted` on
+        the first exhausted failure.
+    retry_backoff:
+        Base of the exponential backoff slept before retry attempt
+        ``k`` (``retry_backoff * 2**(k-2)`` seconds, capped at 2s).
     """
 
     def __init__(self, jobs: int = 1, cache: ResultCache | None = None,
                  start_method: str = "spawn",
-                 profiler: Profiler | None = None):
+                 profiler: Profiler | None = None,
+                 retries: int = 0,
+                 point_timeout: float | None = None,
+                 keep_going: bool = False,
+                 retry_backoff: float = 0.05):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if point_timeout is not None and point_timeout <= 0:
+            raise ValueError("point_timeout must be positive")
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self.start_method = start_method
         self.profiler = ensure_profiler(profiler)
+        self.retries = retries
+        self.point_timeout = point_timeout
+        self.keep_going = keep_going
+        self.retry_backoff = retry_backoff
         self.stats = EngineStats(
             jobs=self.jobs,
             cache_dir=str(cache.root) if cache is not None else "",
@@ -140,13 +273,43 @@ class ExperimentEngine:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 mp_context=get_context(self.start_method))
+            if self.point_timeout is not None:
+                # The watchdog deadline is armed at submit time, so boot
+                # every worker first: spawning an interpreter can cost a
+                # sizeable fraction of a tight timeout, and that boot
+                # latency must not be charged to the first points.
+                try:
+                    wait([self._pool.submit(_noop)
+                          for _ in range(self.jobs)])
+                except BrokenProcessPool:
+                    pass
         return self._pool
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent).
+
+        ``cancel_futures`` drops queued points immediately, so Ctrl-C
+        or a fail-fast abort does not block on a full submission queue
+        draining through the pool first.
+        """
         if self._pool is not None:
-            self._pool.shutdown()
+            self._pool.shutdown(cancel_futures=True)
             self._pool = None
+
+    def _respawn_pool(self) -> None:
+        """Tear down a broken or stuck pool; terminate its workers so a
+        runaway point cannot outlive its cancellation. The next submit
+        spawns a fresh pool."""
+        if self._pool is None:
+            return
+        procs = dict(getattr(self._pool, "_processes", None) or {})
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = None
+        for proc in procs.values():
+            try:
+                proc.terminate()
+            except (OSError, ValueError, AttributeError):
+                pass
 
     def __enter__(self) -> "ExperimentEngine":
         return self
@@ -173,6 +336,12 @@ class ExperimentEngine:
         that point. ``encode``/``decode`` convert between the point
         result and its JSON-serialisable cached form (identity by
         default, for results that are already plain JSON values).
+
+        Under ``keep_going`` a returned element may be a
+        :class:`~repro.errors.PointFailure`; otherwise the first
+        exhausted failure raises
+        :class:`~repro.errors.ExperimentAborted` (points that completed
+        before the abort are already committed to the cache).
         """
         if keys is not None and len(keys) != len(points):
             raise ValueError("keys must parallel points")
@@ -180,7 +349,8 @@ class ExperimentEngine:
         prof = self.profiler
         work = [
             _Point(index=i, args=tuple(p),
-                   key=None if keys is None else keys[i])
+                   key=None if keys is None else keys[i],
+                   site=f"{label}#{i}")
             for i, p in enumerate(points)
         ]
         self.stats.points += len(work)
@@ -201,32 +371,208 @@ class ExperimentEngine:
             prof.count(f"engine.{label}.cache_hits",
                        len(work) - len(pending))
 
-        with prof.span(f"engine: {label} ({len(pending)} of {len(work)})",
-                       cat="engine"):
-            if pending:
-                self._execute(fn, pending)
-        self.stats.executed += len(pending)
+        def commit(point: _Point) -> None:
+            """Incremental cache commit: store a completed point the
+            moment it finishes, so an interrupted run resumes from the
+            last completed point. Failures are never cached."""
+            if (self.cache is None or point.key is None or point.failed):
+                return
+            stored = (point.value if encode is None
+                      else encode(point.value))
+            self.cache.put(point.key, stored)
+            self.stats.cache_stores += 1
+
+        failed_before = self.stats.failed
+        try:
+            with prof.span(
+                    f"engine: {label} ({len(pending)} of {len(work)})",
+                    cat="engine"):
+                if pending:
+                    self._execute(fn, pending, commit, label)
+        finally:
+            self.stats.executed += sum(
+                1 for p in pending if p.attempts > 0)
+            self.stats.wall_s += time.perf_counter() - started
         if prof.enabled:
             prof.count(f"engine.{label}.executed", len(pending))
-
-        if self.cache is not None:
-            for point in pending:
-                if point.key is not None:
-                    stored = (point.value if encode is None
-                              else encode(point.value))
-                    self.cache.put(point.key, stored)
-                    self.stats.cache_stores += 1
-        self.stats.wall_s += time.perf_counter() - started
+            failures = self.stats.failed - failed_before
+            if failures:
+                prof.count(f"engine.{label}.failed", failures)
         return [point.value for point in work]
 
-    def _execute(self, fn: Callable[..., Any],
-                 pending: list[_Point]) -> None:
-        if self.jobs <= 1 or len(pending) <= 1:
-            for point in pending:
-                point.value = fn(*point.args)
-            return
-        pool = self._get_pool()
-        futures = [(point, pool.submit(fn, *point.args))
-                   for point in pending]
-        for point, future in futures:
-            point.value = future.result()
+    # -- failure plumbing --------------------------------------------------
+
+    def _sleep_backoff(self, attempt: int) -> None:
+        delay = self.retry_backoff * (2 ** (attempt - 2))
+        if delay > 0:
+            time.sleep(min(delay, 2.0))
+
+    def _finalize_failure(self, point: _Point, payload: dict,
+                          label: str) -> None:
+        point.failed = True
+        point.value = PointFailure(attempts=point.attempts, **payload)
+        self.stats.failed += 1
+        if not self.keep_going:
+            raise ExperimentAborted(label, point.value)
+
+    def _handle_error(self, point: _Point, payload: dict,
+                      retry_queue: deque, label: str) -> None:
+        """Retry ``point`` (onto ``retry_queue``) if it has attempts
+        left, else finalise it as a failure."""
+        if point.attempts > self.retries:
+            self._finalize_failure(point, payload, label)
+        else:
+            self.stats.retried += 1
+            retry_queue.append(point)
+
+    # -- execution backends ------------------------------------------------
+
+    def _execute(self, fn: Callable[..., Any], pending: list[_Point],
+                 commit: Callable[[_Point], None], label: str) -> None:
+        # A single point normally runs inline (no pool spin-up), but a
+        # watchdog timeout needs a worker it can actually cancel.
+        if self.jobs <= 1 or (len(pending) <= 1
+                              and self.point_timeout is None):
+            self._execute_serial(fn, pending, commit, label)
+        else:
+            self._execute_parallel(fn, pending, commit, label)
+
+    def _execute_serial(self, fn: Callable[..., Any],
+                        pending: list[_Point],
+                        commit: Callable[[_Point], None],
+                        label: str) -> None:
+        for point in pending:
+            payload: dict | None = None
+            while True:
+                point.attempts += 1
+                if point.attempts > 1:
+                    self.stats.retried += 1
+                    self._sleep_backoff(point.attempts)
+                started = time.monotonic()
+                status, value = _call_point(fn, point.args, point.site)
+                elapsed = time.monotonic() - started
+                if status == _OK and (self.point_timeout is None
+                                      or elapsed <= self.point_timeout):
+                    point.value = value
+                    payload = None
+                    break
+                # inline timeouts are post hoc (no preemption without a
+                # pool) but record the same payload a parallel watchdog
+                # cancellation would.
+                payload = (value if status == _ERR
+                           else _timeout_payload(self.point_timeout))
+                if point.attempts > self.retries:
+                    break
+            if payload is not None:
+                self._finalize_failure(point, payload, label)
+            commit(point)
+
+    def _execute_parallel(self, fn: Callable[..., Any],
+                          pending: list[_Point],
+                          commit: Callable[[_Point], None],
+                          label: str) -> None:
+        waiting: deque[_Point] = deque(pending)
+        #: crash suspects, re-run one at a time to isolate the culprit.
+        solo: deque[_Point] = deque()
+        inflight: dict = {}
+        deadlines: dict = {}
+
+        def submit(point: _Point) -> bool:
+            pool = self._get_pool()
+            point.attempts += 1
+            if point.attempts > 1:
+                self._sleep_backoff(point.attempts)
+            try:
+                fut = pool.submit(_call_point, fn, point.args,
+                                  point.site)
+            except BrokenProcessPool:
+                point.attempts -= 1  # resubmission re-charges it
+                self._respawn_pool()
+                return False
+            inflight[fut] = point
+            if self.point_timeout is not None:
+                deadlines[fut] = time.monotonic() + self.point_timeout
+            return True
+
+        try:
+            while waiting or solo or inflight:
+                if solo:
+                    # quarantine: exactly one suspect in flight, so a
+                    # repeat crash names the culprit instead of taking
+                    # innocent points down with it.
+                    if not inflight:
+                        point = solo.popleft()
+                        if not submit(point):
+                            solo.appendleft(point)
+                else:
+                    while waiting and len(inflight) < self.jobs:
+                        point = waiting.popleft()
+                        if not submit(point):
+                            waiting.appendleft(point)
+                            break
+                if not inflight:
+                    continue
+                timeout = None
+                if deadlines:
+                    timeout = max(
+                        0.0, min(deadlines.values()) - time.monotonic()
+                    ) + 0.02
+                done, _ = wait(set(inflight), timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+                crashed: list[_Point] = []
+                for fut in done:
+                    point = inflight.pop(fut)
+                    deadlines.pop(fut, None)
+                    try:
+                        status, value = fut.result()
+                    except BrokenProcessPool:
+                        crashed.append(point)
+                        continue
+                    except Exception as exc:  # submission/pickling faults
+                        status, value = _ERR, _failure_payload(exc)
+                    if status == _OK:
+                        point.value = value
+                        commit(point)
+                    else:
+                        self._handle_error(point, value, waiting, label)
+                if crashed:
+                    # the pool died; every in-flight future was lost.
+                    crashed.extend(inflight.values())
+                    inflight.clear()
+                    deadlines.clear()
+                    self._respawn_pool()
+                    if len(crashed) == 1:
+                        # ran solo: this point killed the worker.
+                        self._handle_error(crashed[0], _crash_payload(),
+                                           solo, label)
+                    else:
+                        # ambiguous: re-run each suspect solo, uncharged.
+                        for point in crashed:
+                            point.attempts -= 1
+                            solo.append(point)
+                    continue
+                if deadlines:
+                    now = time.monotonic()
+                    expired = [f for f, dl in deadlines.items()
+                               if dl <= now]
+                    if expired:
+                        for fut in expired:
+                            point = inflight.pop(fut)
+                            deadlines.pop(fut)
+                            self._handle_error(
+                                point,
+                                _timeout_payload(self.point_timeout),
+                                waiting, label)
+                        # watchdog cancellation: a stuck worker cannot
+                        # be interrupted in-band — tear the pool down
+                        # (terminating its processes) and reschedule
+                        # the innocent in-flight points uncharged.
+                        for fut, point in list(inflight.items()):
+                            point.attempts -= 1
+                            waiting.append(point)
+                        inflight.clear()
+                        deadlines.clear()
+                        self._respawn_pool()
+        except ExperimentAborted:
+            self.close()
+            raise

@@ -78,8 +78,13 @@ def run_profile_cached(
     cycle_bucket: int = Profiler.DEFAULT_CYCLE_BUCKET,
     validate: bool = True,
     cache: ResultCache | None = None,
+    retries: int = 0,
 ) -> tuple[ProfileReport, dict, bool]:
     """:func:`run_profile` behind the experiment result cache.
+
+    ``retries`` re-runs a failed profile up to that many extra times
+    (the same transient-fault policy the experiment engine applies per
+    point) before letting the failure propagate.
 
     Returns ``(report, summary, cache_hit)`` where ``summary`` carries
     the launch count and total cycles the CLI prints (the full
@@ -104,10 +109,18 @@ def run_profile_cached(
         if payload is not MISS:
             return (ProfileReport.from_payload(payload["report"]),
                     payload["summary"], True)
-    report, result = run_profile(
-        benchmark, backend=backend, scale=scale, config=config,
-        cycle_bucket=cycle_bucket, validate=validate,
-    )
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            report, result = run_profile(
+                benchmark, backend=backend, scale=scale, config=config,
+                cycle_bucket=cycle_bucket, validate=validate,
+            )
+            break
+        except ReproError:
+            if attempt > retries:
+                raise
     summary = {
         "launches": len(result.launches),
         "total_cycles": result.total_cycles,

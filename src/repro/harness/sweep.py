@@ -27,6 +27,7 @@ from pathlib import Path
 import numpy as np
 
 from ..benchmarks import get_benchmark
+from ..errors import PointFailure, ReproError
 from ..ocl import Context
 from ..profiling import NULL_PROFILER, Profiler
 from ..vortex import VortexBackend, VortexConfig
@@ -53,11 +54,19 @@ class SweepResult:
     cycles: dict[tuple[int, int], int] = field(default_factory=dict)
     #: LSU stalls: loads bounced off full MSHRs (replays).
     lsu_stalls: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: cells whose point failed (after retries) under ``keep_going``.
+    failures: dict[tuple[int, int], PointFailure] = field(
+        default_factory=dict)
     #: execution/cache bookkeeping from the engine that ran the grid.
     engine_stats: EngineStats | None = None
 
     @property
     def best(self) -> tuple[int, int]:
+        if not self.cycles:
+            raise ReproError(
+                f"every cell of the {self.benchmark} sweep failed "
+                f"({len(self.failures)} failures) — no best configuration"
+            )
         return min(self.cycles, key=self.cycles.get)
 
     def normalized(self) -> dict[tuple[int, int], float]:
@@ -77,11 +86,21 @@ class SweepResult:
         return cycles / self.cycles[self.best]
 
     def render(self) -> str:
-        return render_heatmap(
-            self.normalized(),
-            title=(f"Figure 7 ({self.benchmark}): normalized cycles, "
-                   f"4 cores (best = {self.best})"),
-        )
+        if self.cycles:
+            body = render_heatmap(
+                self.normalized(),
+                title=(f"Figure 7 ({self.benchmark}): normalized cycles, "
+                       f"4 cores (best = {self.best})"),
+            )
+        else:
+            body = (f"Figure 7 ({self.benchmark}): all "
+                    f"{len(self.failures)} cells failed")
+        if not self.failures:
+            return body
+        lines = [body, f"{len(self.failures)} cell(s) failed:"]
+        for (w, t), failure in sorted(self.failures.items()):
+            lines.append(f"  w={w} t={t}: {failure.brief()}")
+        return "\n".join(lines)
 
 
 def _launch_vecadd(config: VortexConfig, n: int,
@@ -150,6 +169,9 @@ def run_sweep(
     jobs: int = 1,
     cache: ResultCache | None = None,
     engine: ExperimentEngine | None = None,
+    retries: int = 0,
+    point_timeout: float | None = None,
+    keep_going: bool = False,
 ) -> SweepResult:
     """Sweep one benchmark over the (warps, threads) grid.
 
@@ -163,7 +185,13 @@ def run_sweep(
     behaviour. Profiled runs bypass the cache — the traces are the
     point, and they must be regenerated. Passing ``engine`` reuses an
     existing :class:`ExperimentEngine` (its stats accumulate across
-    sweeps).
+    sweeps, and its fault-tolerance policy applies).
+
+    ``retries``/``point_timeout``/``keep_going`` configure the engine's
+    fault-tolerance policy when the sweep owns the engine: under
+    ``keep_going`` a cell whose point fails (after retries) lands in
+    :attr:`SweepResult.failures` and renders as an ``ERROR(...)`` line
+    instead of aborting the whole grid.
     """
     if benchmark not in ("vecadd", "transpose"):
         raise ValueError("the Figure 7 sweep covers vecadd and transpose")
@@ -175,7 +203,10 @@ def run_sweep(
     owns_engine = engine is None
     if owns_engine:
         engine = ExperimentEngine(jobs=jobs,
-                                  cache=None if profile else cache)
+                                  cache=None if profile else cache,
+                                  retries=retries,
+                                  point_timeout=point_timeout,
+                                  keep_going=keep_going)
 
     grid = [(w, t) for w in warp_sizes for t in thread_sizes]
     points = []
@@ -199,6 +230,9 @@ def run_sweep(
 
     result = SweepResult(benchmark=benchmark, engine_stats=engine.stats)
     for (w, t), value in zip(grid, values):
+        if isinstance(value, PointFailure):
+            result.failures[(w, t)] = value
+            continue
         result.cycles[(w, t)] = value["cycles"]
         result.lsu_stalls[(w, t)] = value["lsu_stalls"]
         if profile:
@@ -224,6 +258,10 @@ def render_comparison(results: list[SweepResult]) -> str:
     for res in results:
         paper = PAPER_FIG7[res.benchmark]
         subopt = (8, 8) if res.benchmark == "vecadd" else (4, 4)
+        if not res.cycles:  # every cell failed: nothing to compare
+            rows.append([res.benchmark, "ERROR", f"{paper['best']}",
+                         "-", "-"])
+            continue
         rows.append([
             res.benchmark,
             f"{res.best}",

@@ -38,6 +38,8 @@ def render_heatmap(
 
     ``values`` maps (row, col) -> normalized cycles (1.0 = best). Light
     characters mean fewer cycles, matching the paper's colour scale.
+    A grid hole (a cell whose point failed and was dropped from
+    ``values``) renders as ``ERROR``.
     """
     rows = sorted({r for r, _ in values})
     cols = sorted({c for _, c in values})
@@ -51,7 +53,10 @@ def render_heatmap(
     for r in rows:
         cells = [f"{row_label[0]}={r}"]
         for c in cols:
-            v = values[(r, c)]
+            v = values.get((r, c))
+            if v is None:
+                cells.append("ERROR")
+                continue
             # Normalise into the shade ramp (1.0 -> lightest).
             frac = 0.0 if vmax <= 1.0 else (v - 1.0) / (vmax - 1.0)
             shade = shades[min(len(shades) - 1, int(frac * (len(shades) - 1)))]

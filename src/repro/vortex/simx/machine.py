@@ -150,15 +150,16 @@ class Machine:
             if not issued_any:
                 nxt = min(core.next_event_time(now) for core in self.cores)
                 if nxt >= BLOCKED:
-                    raise SimulationError(
-                        "deadlock: all warps blocked (barrier mismatch?)"
+                    raise self._stuck_error(
+                        "deadlock: all warps blocked (barrier mismatch?)",
+                        now,
                     )
                 now = max(now + 1, nxt)
             else:
                 now += 1
             if now > max_cycles:
-                raise SimulationError(
-                    f"simulation exceeded {max_cycles} cycles"
+                raise self._stuck_error(
+                    f"simulation exceeded {max_cycles} cycles", now
                 )
 
         if profiling:
@@ -181,6 +182,42 @@ class Machine:
                 "lsu_replays": sum(c.stats.lsu_replays for c in self.cores),
             },
         )
+
+    def describe_warp_states(self, now: int) -> str:
+        """Render every warp's state: core, warp id, PC, active mask,
+        group key and why it is (not) making progress. Attached to the
+        :class:`SimulationError` raised for a stuck machine, so a hung
+        configuration inside a sweep is debuggable from the rendered
+        error row alone — no re-run with tracing needed."""
+        lines = []
+        for core in self.cores:
+            barrier_of = {wid: bar
+                          for bar, wids in core.barriers.items()
+                          for wid in wids}
+            for warp in core.warps:
+                if not warp.active:
+                    status = "halted"
+                elif warp.at_barrier:
+                    status = f"waiting at barrier {barrier_of.get(warp.wid, '?')}"
+                elif warp.ready_at >= BLOCKED:
+                    status = "blocked"
+                elif warp.ready_at > now:
+                    status = f"stalled until cycle {warp.ready_at}"
+                else:
+                    status = "ready"
+                lines.append(
+                    f"  core {core.cid} warp {warp.wid}: "
+                    f"pc={warp.pc:#06x} mask={warp.tmask_bits():#x} "
+                    f"group={warp.group_key} {status}"
+                )
+        return "\n".join(lines)
+
+    def _stuck_error(self, headline: str, now: int) -> SimulationError:
+        dump = self.describe_warp_states(now)
+        exc = SimulationError(
+            f"{headline}\nwarp states at cycle {now}:\n{dump}")
+        exc.warp_dump = dump
+        return exc
 
     def _done(self) -> bool:
         if self._pending:

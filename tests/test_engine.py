@@ -1,14 +1,20 @@
 """Tests for the parallel experiment engine and the on-disk result cache.
 
 The contract under test: parallel execution is bit-identical to serial
-execution, cached re-runs execute zero simulator points, and a changed
-code fingerprint invalidates every cached entry.
+execution, cached re-runs execute zero simulator points, a changed
+code fingerprint invalidates every cached entry, and the failure model
+holds — exceptions are captured as :class:`PointFailure` payloads
+identical in serial and parallel runs, a killed worker takes down only
+its own point, and a hung point is cancelled by the watchdog.
 """
 
 import json
+import os
+import time
 
 import pytest
 
+from repro.errors import ExperimentAborted, PointFailure
 from repro.harness.engine import EngineStats, ExperimentEngine, resolve_jobs
 from repro.harness.result_cache import MISS, ResultCache, code_fingerprint
 from repro.harness.sweep import run_sweep
@@ -17,6 +23,56 @@ from repro.harness.sweep import run_sweep
 def _add(a, b):
     """Module-level (hence spawn-picklable) point function."""
     return a + b
+
+
+def _fail_on_two(x):
+    """Deterministic failing point: only x == 2 is cursed."""
+    if x == 2:
+        raise ValueError("two is cursed")
+    return x * 10
+
+
+def _try_claim_marker(path):
+    """Atomically create ``path``; True exactly once across processes."""
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def _fail_until_marker(path, x):
+    """Transient fault: the first call (ever, any process) fails."""
+    if _try_claim_marker(path):
+        raise RuntimeError("transient fault")
+    return x * 10
+
+
+def _kill_until_marker(path, x):
+    """One worker (whichever claims the marker first) dies mid-point."""
+    if _try_claim_marker(path):
+        os._exit(13)
+    return x * 10
+
+
+def _kill_on_two(x):
+    """Persistent killer: every attempt at x == 2 dies, others are fine."""
+    if x == 2:
+        os._exit(13)
+    return x * 10
+
+
+def _sleep_for(secs, x):
+    time.sleep(secs)
+    return x
+
+
+def _sleep_once_then_return(path, secs, x):
+    """Hang only on the first call; retries return immediately."""
+    if _try_claim_marker(path):
+        time.sleep(secs)
+    return x * 10
 
 
 # -- result cache ------------------------------------------------------------
@@ -142,6 +198,155 @@ class TestEngine:
         a.merge(b)
         assert (a.jobs, a.points, a.executed, a.cache_hits) == (4, 5, 2, 3)
         assert "5 points" in a.summary() and "3 cache hits" in a.summary()
+
+
+# -- engine failure paths ----------------------------------------------------
+
+def _payloads(results):
+    """Normalise a result list for serial-vs-parallel comparison."""
+    return [r.to_payload() if isinstance(r, PointFailure) else r
+            for r in results]
+
+
+class TestEngineFailures:
+    def test_fail_fast_raises_experiment_aborted(self):
+        engine = ExperimentEngine(jobs=1)
+        with pytest.raises(ExperimentAborted) as excinfo:
+            engine.run(_fail_on_two, [(1,), (2,), (3,)])
+        failure = excinfo.value.failure
+        assert failure.exc_type == "ValueError"
+        assert failure.message == "two is cursed"
+        assert "ValueError: two is cursed" in failure.traceback
+        assert failure.attempts == 1
+        assert "two is cursed" in str(excinfo.value)
+
+    def test_keep_going_captures_failure_in_results(self):
+        engine = ExperimentEngine(jobs=1, keep_going=True)
+        results = engine.run(_fail_on_two, [(1,), (2,), (3,)])
+        assert results[0] == 10 and results[2] == 30
+        assert isinstance(results[1], PointFailure)
+        assert results[1].brief().startswith("ERROR(ValueError")
+        assert engine.stats.failed == 1
+        assert "failed=1" in engine.stats.summary()
+        assert "retried=0" in engine.stats.summary()
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentEngine(retries=-1)
+        with pytest.raises(ValueError):
+            ExperimentEngine(point_timeout=0)
+
+    def test_abort_keeps_completed_points_in_cache(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f")
+        keys = [cache.key(p=p) for p in (1, 2, 3)]
+        first = ExperimentEngine(jobs=1, cache=cache)
+        with pytest.raises(ExperimentAborted):
+            first.run(_fail_on_two, [(1,), (2,), (3,)], keys=keys)
+        # point 1 completed before the abort and was committed
+        # incrementally; the failed point 2 was not cached.
+        assert first.stats.cache_stores == 1
+        resumed = ExperimentEngine(jobs=1, cache=cache, keep_going=True)
+        results = resumed.run(_fail_on_two, [(1,), (2,), (3,)], keys=keys)
+        assert results[0] == 10 and results[2] == 30
+        assert resumed.stats.cache_hits == 1
+        assert resumed.stats.executed == 2
+
+    def test_retry_recovers_transient_fault(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        engine = ExperimentEngine(jobs=1, retries=1, retry_backoff=0.0)
+        assert engine.run(_fail_until_marker, [(marker, 7)]) == [70]
+        assert engine.stats.failed == 0
+        assert engine.stats.retried == 1
+        assert "retried=1" in engine.stats.summary()
+
+    def test_exhausted_retries_report_attempt_count(self):
+        engine = ExperimentEngine(jobs=1, retries=2, retry_backoff=0.0,
+                                  keep_going=True)
+        results = engine.run(_fail_on_two, [(2,)])
+        assert results[0].attempts == 3
+        assert engine.stats.retried == 2 and engine.stats.failed == 1
+
+    def test_serial_and_parallel_failures_identical(self):
+        points = [(i,) for i in (1, 2, 3, 4)]
+        serial = ExperimentEngine(jobs=1, keep_going=True)
+        with ExperimentEngine(jobs=4, keep_going=True) as parallel:
+            assert _payloads(serial.run(_fail_on_two, points)) == \
+                _payloads(parallel.run(_fail_on_two, points))
+        assert serial.stats.failed == parallel.stats.failed == 1
+
+    def test_broken_pool_recovery_spares_innocents(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        with ExperimentEngine(jobs=2, retries=1,
+                              retry_backoff=0.0) as engine:
+            points = [(marker, i) for i in range(4)]
+            assert engine.run(_kill_until_marker, points) == \
+                [0, 10, 20, 30]
+            assert engine.stats.failed == 0
+            # the pool was respawned and the engine is still usable
+            assert engine.run(_add, [(1, 2), (3, 4)]) == [3, 7]
+
+    def test_persistent_killer_charged_alone(self):
+        with ExperimentEngine(jobs=2, keep_going=True,
+                              retry_backoff=0.0) as engine:
+            results = engine.run(_kill_on_two, [(1,), (2,), (3,), (4,)])
+        assert results[0] == 10 and results[2] == 30 and results[3] == 40
+        assert isinstance(results[1], PointFailure)
+        assert results[1].exc_type == "WorkerCrashed"
+        assert engine.stats.failed == 1
+
+    def test_timeout_cancels_stuck_point(self):
+        started = time.monotonic()
+        with ExperimentEngine(jobs=2, point_timeout=2.0,
+                              keep_going=True) as engine:
+            results = engine.run(_sleep_for,
+                                 [(0.0, 1), (20.0, 2), (0.0, 3)])
+        assert results[0] == 1 and results[2] == 3
+        assert isinstance(results[1], PointFailure)
+        assert results[1].exc_type == "PointTimeout"
+        assert "2s point-timeout" in results[1].message
+        # the watchdog cancelled the 60s sleeper instead of waiting it out
+        assert time.monotonic() - started < 30
+
+    def test_timeout_then_retry_succeeds(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        with ExperimentEngine(jobs=2, point_timeout=2.0, retries=1,
+                              retry_backoff=0.0) as engine:
+            results = engine.run(_sleep_once_then_return,
+                                 [(marker, 20.0, 1), (marker, 0.0, 2)])
+        assert sorted(results) == [10, 20]
+        assert engine.stats.failed == 0
+        assert engine.stats.retried >= 1
+
+    def test_serial_timeout_is_post_hoc_with_same_payload(self):
+        engine = ExperimentEngine(jobs=1, point_timeout=0.05,
+                                  keep_going=True)
+        results = engine.run(_sleep_for, [(0.2, 1)])
+        assert isinstance(results[0], PointFailure)
+        assert results[0].exc_type == "PointTimeout"
+        assert results[0].message == "point exceeded 0.05s point-timeout"
+
+    def test_close_cancels_queued_futures(self):
+        engine = ExperimentEngine(jobs=2)
+        pool = engine._get_pool()
+        futures = [pool.submit(time.sleep, 1.0) for _ in range(8)]
+        started = time.monotonic()
+        engine.close()
+        # without cancel_futures the queue would drain through the two
+        # workers (~4s of sleeps); cancellation only waits out the two
+        # already running.
+        assert time.monotonic() - started < 3.0
+        assert any(f.cancelled() for f in futures)
+
+
+class TestPointFailurePayload:
+    def test_roundtrip(self):
+        failure = PointFailure(exc_type="ValueError", message="boom",
+                               traceback="tb", attempts=2)
+        assert PointFailure.from_payload(failure.to_payload()) == failure
+
+    def test_brief(self):
+        failure = PointFailure(exc_type="KeyError", message="'w'")
+        assert failure.brief() == "ERROR(KeyError: 'w')"
 
 
 # -- sweep through the engine ------------------------------------------------

@@ -318,3 +318,64 @@ class TestRiscvDivisionSemantics:
     def test_truncating_division(self):
         assert self._run_div(-7, 2, "div") == -3
         assert self._run_div(-7, 2, "rem") == -1
+
+
+class TestWarpStateDump:
+    """Stuck-machine diagnostics: a deadlocked or cycle-limit-overrun
+    simulation must die with a per-warp state dump attached, so an
+    ERROR row in a sweep is debuggable without a traced re-run."""
+
+    def test_cycle_overrun_error_carries_warp_dump(self):
+        from repro.benchmarks import get_benchmark
+        from repro.ocl import Context
+        from repro.vortex import VortexBackend
+
+        config = VortexConfig(cores=2, warps=2, threads=2)
+        ctx = Context(VortexBackend(config, max_cycles=5))
+        prog = ctx.program(get_benchmark("vecadd").build())
+        n = 64
+        a = ctx.buffer(np.zeros(n, dtype=np.float32))
+        b = ctx.buffer(np.zeros(n, dtype=np.float32))
+        c = ctx.alloc(n)
+        with pytest.raises(SimulationError) as excinfo:
+            prog.launch("vecadd", [a, b, c, n], n, 4)
+        exc = excinfo.value
+        assert "simulation exceeded 5 cycles" in str(exc)
+        assert "warp states at cycle" in str(exc)
+        assert exc.warp_dump  # machine state travels with the error
+        assert "core 0 warp 0:" in exc.warp_dump
+        assert "core 1 warp 1:" in exc.warp_dump
+        assert "pc=0x" in exc.warp_dump
+
+    def test_describe_warp_states_covers_every_status(self):
+        from repro.vortex.simx.machine import Machine
+        from repro.vortex.simx.warp import BLOCKED
+
+        machine = Machine(VortexConfig(cores=1, warps=4, threads=2))
+        core = machine.cores[0]
+        w0, w1, w2, w3 = core.warps
+        w0.active = True
+        w0.pc = 0x80
+        w0.tmask[:] = True
+        w0.group_key = 7
+        w0.at_barrier = True
+        core.barriers[3] = [w0.wid]
+        w1.active = True
+        w1.ready_at = BLOCKED
+        w2.active = True
+        w2.ready_at = 50
+        w3.active = True  # ready_at 0 <= now: can issue
+        lines = machine.describe_warp_states(now=10).splitlines()
+        assert len(lines) == 4
+        assert "core 0 warp 0: pc=0x0080 mask=0x3 group=7" in lines[0]
+        assert "waiting at barrier 3" in lines[0]
+        assert "blocked" in lines[1]
+        assert "stalled until cycle 50" in lines[2]
+        assert "ready" in lines[3]
+
+    def test_halted_warps_render_as_halted(self):
+        from repro.vortex.simx.machine import Machine
+
+        machine = Machine(VortexConfig(cores=1, warps=2, threads=2))
+        dump = machine.describe_warp_states(now=0)
+        assert dump.count("halted") == 2
