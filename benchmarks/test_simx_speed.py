@@ -1,0 +1,124 @@
+"""SimX throughput benchmark: simulated-cycles per wall-clock second.
+
+Measures the Fig. 7 benchmarks (vecadd, transpose) on the default SimX
+configuration and writes ``BENCH_simx.json`` at the repository root —
+the perf-trajectory artifact ROADMAP item 1 asks for. Only the time
+spent inside ``Machine.launch`` counts (compilation, buffer marshalling
+and validation are host-side and excluded); each benchmark takes the
+best of ``REPEATS`` runs to damp machine noise.
+
+The committed ``BENCH_simx.json`` doubles as the regression baseline:
+a fresh measurement more than ``ALLOWED_REGRESSION`` below the
+committed cycles/sec fails the run. Regenerate the baseline with
+``REPRO_BENCH_UPDATE=1`` after an intentional change (and call the
+perf delta out in review). Cycle counts are also pinned exactly — a
+throughput change must never be a behaviour change in disguise (the
+golden-trace layer guards that too).
+"""
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.benchmarks.suite import run_benchmark
+from repro.vortex import VortexBackend
+from repro.vortex.simx.machine import Machine
+
+#: The Fig. 7 benchmark pair, at scales large enough that per-launch
+#: fixed costs (dispatch ramp, compile cache) don't dominate timing.
+FIG7_BENCHES = (("vecadd", 32), ("transpose", 8))
+REPEATS = 3
+ALLOWED_REGRESSION = 0.30
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_simx.json"
+
+
+def _measure(bench: str, scale: int) -> dict:
+    """Best-of-``REPEATS`` simulated-cycles/sec for one benchmark."""
+    sim_wall = 0.0
+    original = Machine.launch
+
+    def timed(self, *args, **kwargs):
+        nonlocal sim_wall
+        start = time.perf_counter()
+        result = original(self, *args, **kwargs)
+        sim_wall += time.perf_counter() - start
+        return result
+
+    best = None
+    cycles = None
+    Machine.launch = timed
+    try:
+        for _ in range(REPEATS):
+            sim_wall = 0.0
+            result = run_benchmark(bench, VortexBackend(), scale=scale)
+            assert result.ok, f"{bench} failed: {result.status}"
+            cycles = result.total_cycles
+            if best is None or sim_wall < best:
+                best = sim_wall
+    finally:
+        Machine.launch = original
+    return {
+        "scale": scale,
+        "cycles": cycles,
+        "sim_seconds": round(best, 4),
+        "cycles_per_sec": round(cycles / best),
+    }
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    return {bench: _measure(bench, scale) for bench, scale in FIG7_BENCHES}
+
+
+def _aggregate(measured: dict) -> int:
+    total_cycles = sum(m["cycles"] for m in measured.values())
+    total_seconds = sum(m["sim_seconds"] for m in measured.values())
+    return round(total_cycles / total_seconds)
+
+
+def test_speed_vs_committed_baseline(measurements):
+    if not BENCH_PATH.exists() or os.environ.get("REPRO_BENCH_UPDATE"):
+        pytest.skip("no committed BENCH_simx.json baseline")
+    committed = json.loads(BENCH_PATH.read_text())
+    floor = 1.0 - ALLOWED_REGRESSION
+    for bench, measured in measurements.items():
+        ref = committed["fig7_benchmarks"][bench]
+        # identical simulated work first: cycle counts are exact
+        assert measured["cycles"] == ref["cycles"], (
+            f"{bench}: simulated {measured['cycles']} cycles, baseline "
+            f"simulated {ref['cycles']} — behaviour changed, not speed"
+        )
+        assert measured["cycles_per_sec"] >= floor * ref["cycles_per_sec"], (
+            f"{bench}: {measured['cycles_per_sec']:,} cycles/sec is more "
+            f"than {ALLOWED_REGRESSION:.0%} below the committed "
+            f"{ref['cycles_per_sec']:,} — perf regression "
+            f"(REPRO_BENCH_UPDATE=1 regenerates the baseline if this "
+            f"slowdown is intentional)"
+        )
+    agg = _aggregate(measurements)
+    assert agg >= floor * committed["aggregate_cycles_per_sec"]
+
+
+def test_writes_bench_json(measurements):
+    payload = {
+        "schema": 1,
+        "fig7_benchmarks": measurements,
+        "aggregate_cycles_per_sec": _aggregate(measurements),
+        "meta": {
+            "python": sys.version.split()[0],
+            "machine": platform.machine(),
+            "repeats": REPEATS,
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True)
+                          + "\n")
+    print(f"\nwrote {BENCH_PATH}")
+    for bench, m in measurements.items():
+        print(f"  {bench} (scale {m['scale']}): {m['cycles']:,} cycles "
+              f"in {m['sim_seconds']}s = {m['cycles_per_sec']:,} cyc/s")

@@ -138,6 +138,20 @@ def _fig7(args: argparse.Namespace | None = None) -> int:
         return 1 if engine.stats.failed else 0
 
 
+def _golden(args: argparse.Namespace) -> int:
+    from .harness import run_golden
+
+    only = [tok for spec in (args.only or []) for tok in spec.split(",")
+            if tok.strip()]
+    report = run_golden(update=args.update, only=only or None)
+    print(report.render())
+    if args.update:
+        print("\ndigests written under tests/golden/ — regenerating "
+              "goldens asserts an INTENDED behaviour change; call it out "
+              "in review (see EXPERIMENTS.md).")
+    return 0 if (args.update or report.ok) else 1
+
+
 def _profile(args: argparse.Namespace) -> int:
     from .errors import ReproError
     from .harness import run_profile_cached
@@ -247,6 +261,18 @@ def _build_parser() -> argparse.ArgumentParser:
         p.set_defaults(func=fn)
     p_all = sub.add_parser("all", help="regenerate every table and figure")
     p_all.set_defaults(func=None)
+
+    p = sub.add_parser(
+        "golden",
+        help="verify every committed SimX golden-trace digest "
+             "(tests/golden/), or regenerate them with --update",
+    )
+    p.add_argument("--update", action="store_true",
+                   help="rewrite the digests from the current simulator "
+                        "(an explicit behaviour-change assertion)")
+    p.add_argument("--only", action="append", metavar="BENCH[,BENCH...]",
+                   help="restrict to these benchmarks / point names")
+    p.set_defaults(func=_golden)
 
     p = sub.add_parser(
         "profile",

@@ -41,6 +41,7 @@ from .profile import (
     run_profile,
     run_profile_cached,
 )
+from .golden import GoldenPoint, GoldenReport, golden_points, run_golden
 from .result_cache import ResultCache, code_fingerprint
 from .sweep import PAPER_FIG7, SweepResult, render_comparison, run_sweep
 from .tables import render_heatmap, render_table
@@ -57,6 +58,8 @@ __all__ = [
     "FAULT_STATE_ENV",
     "FaultInjected",
     "FaultSpec",
+    "GoldenPoint",
+    "GoldenReport",
     "PointFailure",
     "ResultCache",
     "corrupt_cache_entry",
@@ -65,6 +68,8 @@ __all__ = [
     "code_fingerprint",
     "resolve_jobs",
     "run_profile_cached",
+    "golden_points",
+    "run_golden",
     "PAPER_FIG7",
     "PAPER_TABLE1",
     "PAPER_TABLE2",

@@ -38,7 +38,7 @@ class VortexBackend(DeviceBackend):
 
     def __init__(self, config: VortexConfig | None = None,
                  max_cycles: int = 200_000_000, optimize: bool = True,
-                 trace: bool = False, profiler=None):
+                 trace: bool = False, profiler=None, launch_hook=None):
         self.config = config if config is not None else VortexConfig()
         self.max_cycles = max_cycles
         self.optimize = optimize
@@ -48,6 +48,10 @@ class VortexBackend(DeviceBackend):
         #: optional :class:`repro.profiling.Profiler`; every launch on
         #: this backend records cycle-bucket samples and group spans.
         self.profiler = profiler
+        #: optional ``hook(machine, result)`` called after every launch
+        #: completes and buffers are copied back — the golden-trace
+        #: harness uses it to digest the final device state.
+        self.launch_hook = launch_hook
         self._image_cache: dict[tuple, VortexKernelImage] = {}
 
     def build(self, kernel: Kernel) -> "VortexCompiledKernel":
@@ -124,6 +128,9 @@ class VortexCompiledKernel(CompiledKernel):
         for addr, arr in buffers:
             raw = machine.memory.read_bytes(addr, arr.nbytes)
             arr[:] = np.frombuffer(raw, dtype=arr.dtype)
+
+        if self.backend.launch_hook is not None:
+            self.backend.launch_hook(machine, result)
 
         return LaunchStats(
             kernel_name=kernel.name,

@@ -4,13 +4,15 @@ The LSU consults the cache per line: a hit costs the cache hit latency,
 a miss goes to DRAM and fills the line (no-allocate on stores would be
 an option; Vortex's cache allocates on both, which we follow). LRU
 replacement via per-way timestamps.
+
+The tag and LRU arrays are plain Python lists-of-lists: a lookup touches
+one set of (typically) a few ways, where ``list.index`` beats a numpy
+comparison-plus-nonzero round trip by an order of magnitude.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-
-import numpy as np
 
 
 @dataclass
@@ -35,8 +37,8 @@ class Cache:
         self.line_size = line_size
         self.ways = ways
         self.sets = size // (ways * line_size)
-        self.tags = np.full((self.sets, ways), -1, dtype=np.int64)
-        self.lru = np.zeros((self.sets, ways), dtype=np.int64)
+        self.tags: list[list[int]] = [[-1] * ways for _ in range(self.sets)]
+        self.lru: list[list[int]] = [[0] * ways for _ in range(self.sets)]
         self._tick = 0
         self.stats = CacheStats()
 
@@ -46,33 +48,37 @@ class Cache:
         set_idx = line % self.sets
         tag = line // self.sets
         self._tick += 1
-        self.stats.accesses += 1
-        ways = self.tags[set_idx]
-        hit = np.nonzero(ways == tag)[0]
-        if len(hit):
-            self.lru[set_idx, hit[0]] = self._tick
-            self.stats.hits += 1
-            return True
-        self.stats.misses += 1
-        return False
+        stats = self.stats
+        stats.accesses += 1
+        try:
+            way = self.tags[set_idx].index(tag)
+        except ValueError:
+            stats.misses += 1
+            return False
+        self.lru[set_idx][way] = self._tick
+        stats.hits += 1
+        return True
 
     def fill(self, line_addr: int) -> None:
         line = line_addr // self.line_size
         set_idx = line % self.sets
         tag = line // self.sets
         self._tick += 1
+        tag_row = self.tags[set_idx]
+        lru_row = self.lru[set_idx]
         # If the tag is already resident (two outstanding misses on the
         # same line both filling), refresh that way instead of
         # allocating the line into a second one — duplicate residency
         # would silently halve the set's effective associativity.
-        resident = np.nonzero(self.tags[set_idx] == tag)[0]
-        if len(resident):
-            self.lru[set_idx, resident[0]] = self._tick
-            return
-        victim = int(np.argmin(self.lru[set_idx]))
-        self.tags[set_idx, victim] = tag
-        self.lru[set_idx, victim] = self._tick
+        try:
+            way = tag_row.index(tag)
+        except ValueError:
+            way = lru_row.index(min(lru_row))  # first-oldest, as argmin
+            tag_row[way] = tag
+        lru_row[way] = self._tick
 
     def invalidate_all(self) -> None:
-        self.tags.fill(-1)
-        self.lru.fill(0)
+        for row in self.tags:
+            row[:] = [-1] * self.ways
+        for row in self.lru:
+            row[:] = [0] * self.ways

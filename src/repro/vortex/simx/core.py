@@ -11,6 +11,14 @@ free; when the selected warp is blocked on the LSU, the core records an
 Execution is functional-at-issue (register values are computed
 immediately, numpy-vectorised across lanes) with timing imposed through
 the scoreboard (result-availability cycles) and the LSU/DRAM models.
+
+The per-issue work here is deliberately thin: instruction semantics live
+in statically-decoded handlers (:mod:`.decode`), LSU book-keeping
+structures are purged lazily (``_purge_at`` tracks the earliest expiry
+instead of rescanning every queue every cycle), and
+:meth:`Core.next_change_time` gives the machine a conservative bound on
+how long the core's issue/stall classification stays constant, enabling
+bulk fast-forwarding in :mod:`.machine`.
 """
 
 from __future__ import annotations
@@ -119,6 +127,17 @@ class CoreStats:
     simt_instructions: int = 0
 
 
+#: ``Core.tick`` result codes.
+TICK_IDLE = 0
+TICK_BUSY = 1
+TICK_ISSUED = 2
+
+#: ``Core._stall`` classification of an idle tick.
+STALL_NONE = 0
+STALL_LSU = 1
+STALL_SCOREBOARD = 2
+
+
 class Core:
     def __init__(self, cid: int, config: VortexConfig, machine: "object"):
         self.cid = cid
@@ -134,6 +153,9 @@ class Core:
         self.mshrs: dict[int, int] = {}
         #: per-lane MSHR occupancy: (release_cycle, entries).
         self.mshr_entries: list[tuple[int, int]] = []
+        #: earliest expiry across lsu_inflight/mshrs/mshr_entries; the
+        #: queues are only rescanned when the clock reaches it.
+        self._purge_at = BLOCKED
         #: write-combining buffer: line -> insertion order stamp.
         self.wc_buffer: dict[int, int] = {}
         self._wc_stamp = 0
@@ -146,242 +168,208 @@ class Core:
         self.stats = CoreStats()
         #: barrier slot -> list of waiting warp indices.
         self.barriers: dict[int, list[int]] = {}
+        #: why the last idle tick stalled (STALL_* constant).
+        self._stall = STALL_NONE
+        self._nwarps = config.warps
+        self._lsu_depth = config.lsu_queue_depth
+        self._fetch = machine.fetch
+        self._trace = machine.trace
+        #: incremental MSHR occupancy (sum of mshr_entries lane counts).
+        self._mshr_occupancy = 0
+        #: decoded-program fast path; refreshed by Machine.load_image.
+        self._decoded: list = []
+        self._code_base = 0
+        #: round-robin scan orders: _orders[rr] lists warps starting at
+        #: rr+1, so the issue scan is a plain iteration.
+        nw = config.warps
+        self._orders = [
+            tuple(self.warps[(r + 1 + k) % nw] for k in range(nw))
+            for r in range(nw)
+        ]
 
     # ------------------------------------------------------------------
     # Issue.
     # ------------------------------------------------------------------
 
-    def tick(self, now: int) -> bool:
+    def tick(self, now: int) -> int:
+        """Advance the issue stage one cycle.
+
+        Returns ``TICK_ISSUED`` when an instruction issued,
+        ``TICK_BUSY`` when a previous multi-beat issue still occupies
+        the stage, ``TICK_IDLE`` otherwise (with ``_stall`` recording
+        why). Exactly one of ``cycles_active``/``idle_cycles`` is booked
+        per call.
+        """
+        if now >= self._purge_at:
+            self._purge(now)
+        if now < self.issue_busy_until:
+            self.stats.cycles_active += 1
+            return TICK_BUSY
+        saw_lsu_block = False
+        saw_scoreboard_block = False
+        dec = self._decoded
+        ndec = len(dec)
+        cb = self._code_base
+        for warp in self._orders[self.rr]:
+            # ready_at is BLOCKED for halted/parked warps (invariant
+            # kept by halt()/_exec_bar), so one compare gates the scan.
+            if warp.ready_at > now:
+                continue
+            off = warp.pc - cb
+            idx = off >> 2
+            if not off & 3 and 0 <= idx < ndec:
+                d = dec[idx]
+            else:
+                d = self._fetch(warp.pc)  # raises the canonical error
+            ready = True
+            xr = warp.x_ready
+            for r in d.srcs_x:
+                if xr[r] > now:
+                    ready = False
+                    break
+            if ready:
+                fr = warp.f_ready
+                for r in d.srcs_f:
+                    if fr[r] > now:
+                        ready = False
+                        break
+            if not ready:
+                saw_scoreboard_block = True
+                continue
+            if d.is_mem and (
+                len(self.lsu_inflight) >= self._lsu_depth
+                or self.lsu_busy_until > now
+            ):
+                saw_lsu_block = True
+                continue
+            if self._trace is not None:
+                from ..isa import format_instruction
+
+                self._trace.append(
+                    (now, self.cid, warp.wid, warp.pc,
+                     format_instruction(d.ins), warp.tmask_bits())
+                )
+            warp.ready_at = now + self._issue_beats
+            warp._iseq += 1
+            d.handler(self, warp, d, now)
+            self.issue_busy_until = now + self._issue_beats
+            self.rr = warp.wid
+            stats = self.stats
+            stats.instructions += 1
+            if d.is_simt:
+                stats.simt_instructions += 1
+            stats.cycles_active += 1
+            return TICK_ISSUED
+        stats = self.stats
+        stats.idle_cycles += 1
+        if saw_lsu_block:
+            stats.lsu_stalls += 1
+            self._stall = STALL_LSU
+        elif saw_scoreboard_block:
+            stats.scoreboard_stalls += 1
+            self._stall = STALL_SCOREBOARD
+        else:
+            self._stall = STALL_NONE
+        return TICK_IDLE
+
+    def _purge(self, now: int) -> None:
+        """Drop expired LSU queue entries, outstanding fills and MSHR
+        occupancy, and recompute the next expiry time."""
         self.lsu_inflight = [t for t in self.lsu_inflight if t > now]
         if self.mshrs:
             self.mshrs = {ln: t for ln, t in self.mshrs.items() if t > now}
         if self.mshr_entries:
             self.mshr_entries = [(t, n) for t, n in self.mshr_entries
                                  if t > now]
-        cfg = self.config
-        if now < self.issue_busy_until:
-            # A previous multi-beat instruction still occupies the
-            # issue stage.
-            self.stats.cycles_active += 1
-            return True
-        nw = len(self.warps)
-        issued = False
-        saw_lsu_block = False
-        saw_scoreboard_block = False
-        for k in range(nw):
-            idx = (self.rr + 1 + k) % nw
-            warp = self.warps[idx]
-            if not warp.active or warp.at_barrier or warp.ready_at > now:
-                continue
-            ins, meta = self.machine.fetch(warp.pc)
-            if not self._sources_ready(warp, meta, now):
-                saw_scoreboard_block = True
-                continue
-            if meta.is_mem and (
-                len(self.lsu_inflight) >= cfg.lsu_queue_depth
-                or self.lsu_busy_until > now
-            ):
-                saw_lsu_block = True
-                continue
-            if self.machine.trace is not None:
-                from ..isa import format_instruction
-
-                self.machine.trace.append(
-                    (now, self.cid, warp.wid, warp.pc,
-                     format_instruction(ins), warp.tmask_bits())
-                )
-            self._execute(warp, ins, meta, now)
-            self.issue_busy_until = now + self._issue_beats
-            self.rr = idx
-            self.stats.instructions += 1
-            if meta.kind == "simt":
-                self.stats.simt_instructions += 1
-            issued = True
-            break
-        if issued:
-            self.stats.cycles_active += 1
-        else:
-            self.stats.idle_cycles += 1
-            if saw_lsu_block:
-                self.stats.lsu_stalls += 1
-            elif saw_scoreboard_block:
-                self.stats.scoreboard_stalls += 1
-        return issued
-
-    def _sources_ready(self, warp: Warp, meta: InstrMeta, now: int) -> bool:
-        for r in meta.srcs_x:
-            if warp.x_ready[r] > now:
-                return False
-        for r in meta.srcs_f:
-            if warp.f_ready[r] > now:
-                return False
-        return True
+            self._mshr_occupancy = sum(n for _, n in self.mshr_entries)
+        nxt = BLOCKED
+        for t in self.lsu_inflight:
+            if t < nxt:
+                nxt = t
+        for t in self.mshrs.values():
+            if t < nxt:
+                nxt = t
+        for t, _ in self.mshr_entries:
+            if t < nxt:
+                nxt = t
+        self._purge_at = nxt
 
     def next_event_time(self, now: int) -> int:
         """Earliest future cycle at which this core might make progress."""
+        if now >= self._purge_at:
+            self._purge(now)
         best = BLOCKED
         for warp in self.warps:
             if not warp.active or warp.at_barrier:
                 continue
             t = warp.ready_at
-            _, meta = self.machine.fetch(warp.pc)
-            for r in meta.srcs_x:
-                t = max(t, int(warp.x_ready[r]))
-            for r in meta.srcs_f:
-                t = max(t, int(warp.f_ready[r]))
-            if meta.is_mem:
-                if len(self.lsu_inflight) >= self.config.lsu_queue_depth:
-                    t = max(t, min(self.lsu_inflight))
-                t = max(t, self.lsu_busy_until)
-            best = min(best, t)
+            d = self._fetch(warp.pc)
+            for r in d.srcs_x:
+                rt = warp.x_ready[r]
+                if rt > t:
+                    t = rt
+            for r in d.srcs_f:
+                rt = warp.f_ready[r]
+                if rt > t:
+                    t = rt
+            if d.is_mem:
+                if len(self.lsu_inflight) >= self._lsu_depth:
+                    mt = min(self.lsu_inflight)
+                    if mt > t:
+                        t = mt
+                if self.lsu_busy_until > t:
+                    t = self.lsu_busy_until
+            if t < best:
+                best = t
+        return best
+
+    def next_change_time(self, now: int) -> int:
+        """Earliest future cycle at which this core's tick outcome
+        (issue vs. idle, and the idle stall classification) could differ
+        from the one just computed at ``now``.
+
+        Conservative by construction: the minimum over *every* pending
+        threshold — each stalled warp's ``ready_at``, every
+        not-yet-available source register, the LSU queue's earliest
+        completion when full and the lane-sequencer's busy horizon. As
+        long as the machine clock stays below this bound, re-running
+        :meth:`tick` would book exactly the same counters, which is what
+        licenses the machine's bulk fast-forward to book them in one
+        multiplication instead.
+        """
+        if now >= self._purge_at:
+            self._purge(now)
+        best = BLOCKED
+        for warp in self.warps:
+            if not warp.active or warp.at_barrier:
+                continue
+            rt = warp.ready_at
+            if rt > now:
+                if rt < best:
+                    best = rt
+                continue
+            d = self._fetch(warp.pc)
+            for r in d.srcs_x:
+                t = warp.x_ready[r]
+                if now < t < best:
+                    best = t
+            for r in d.srcs_f:
+                t = warp.f_ready[r]
+                if now < t < best:
+                    best = t
+            if d.is_mem:
+                if len(self.lsu_inflight) >= self._lsu_depth:
+                    t = min(self.lsu_inflight)
+                    if now < t < best:
+                        best = t
+                t = self.lsu_busy_until
+                if now < t < best:
+                    best = t
         return best
 
     # ------------------------------------------------------------------
-    # Execution.
+    # Shared execution helpers (called from the decoded handlers).
     # ------------------------------------------------------------------
-
-    def _writeback(self, warp: Warp, meta: InstrMeta, now: int,
-                   latency: int) -> None:
-        if meta.dst is None:
-            return
-        cls, reg = meta.dst
-        if cls == "x":
-            warp.x_ready[reg] = now + latency
-        else:
-            warp.f_ready[reg] = now + latency
-
-    def _execute(self, warp: Warp, ins: Instruction, meta: InstrMeta,
-                 now: int) -> None:
-        cfg = self.config
-        m = ins.mnemonic
-        warp.ready_at = now + self._issue_beats
-        latency = {
-            "alu": cfg.alu_latency,
-            "mul": cfg.mul_latency,
-            "div": cfg.div_latency,
-            "fpu": cfg.fpu_latency,
-            "fdiv": cfg.fdiv_latency,
-            "sfu": cfg.sfu_latency,
-            "csr": cfg.csr_latency,
-            "simt": cfg.alu_latency,
-            "mem": 0,  # computed by the LSU path
-        }[meta.kind]
-
-        if meta.kind == "mem":
-            self._execute_mem(warp, ins, meta, now)
-            return
-        if meta.kind == "simt":
-            self._execute_simt(warp, ins, now)
-            return
-
-        x, f, mask = warp.x, warp.f, warp.tmask
-        advance = True
-        with np.errstate(all="ignore"):
-            if m in ("add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra",
-                     "or", "and", "mul", "mulh", "div", "rem"):
-                a, b = x[ins.rs1], x[ins.rs2]
-                res = _int_binop(m, a, b)
-                _masked_set(x, ins.rd, res, mask)
-            elif m in ("addi", "slti", "sltiu", "xori", "ori", "andi",
-                       "slli", "srli", "srai"):
-                a = x[ins.rs1]
-                res = _int_immop(m, a, ins.imm)
-                _masked_set(x, ins.rd, res, mask)
-            elif m == "lui":
-                _masked_set(x, ins.rd,
-                            np.full_like(x[0], _i32(ins.imm << 12)), mask)
-            elif m == "auipc":
-                _masked_set(x, ins.rd,
-                            np.full_like(x[0],
-                                         _i32(warp.pc + (ins.imm << 12))),
-                            mask)
-            elif m == "jal":
-                _masked_set(x, ins.rd, np.full_like(x[0],
-                                                    np.int32(warp.pc + 4)),
-                            mask)
-                warp.pc += ins.imm
-                advance = False
-            elif m == "jalr":
-                target = self._uniform_value(warp, x[ins.rs1] + ins.imm)
-                _masked_set(x, ins.rd, np.full_like(x[0],
-                                                    np.int32(warp.pc + 4)),
-                            mask)
-                warp.pc = int(target) & ~1
-                advance = False
-            elif m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
-                taken = self._branch_taken(warp, ins)
-                if taken:
-                    warp.pc += ins.imm
-                    advance = False
-            elif m == "csrrs":
-                val = self._read_csr(warp, ins.imm)
-                _masked_set(x, ins.rd, val, mask)
-            elif m in ("fadd.s", "fsub.s", "fmul.s", "fdiv.s", "fmin.s",
-                       "fmax.s", "fpow.s"):
-                a, b = f[ins.rs1], f[ins.rs2]
-                res = _float_binop(m, a, b)
-                _masked_setf(f, ins.rd, res, mask)
-            elif m in ("fsqrt.s", "fexp.s", "flog.s", "fsin.s", "fcos.s",
-                       "ffloor.s"):
-                res = _float_unop(m, f[ins.rs1])
-                _masked_setf(f, ins.rd, res, mask)
-            elif m in ("fsgnj.s", "fsgnjn.s", "fsgnjx.s"):
-                res = _float_sgnj(m, f[ins.rs1], f[ins.rs2])
-                _masked_setf(f, ins.rd, res, mask)
-            elif m in ("feq.s", "flt.s", "fle.s"):
-                a, b = f[ins.rs1], f[ins.rs2]
-                res = {"feq.s": a == b, "flt.s": a < b, "fle.s": a <= b}[m]
-                _masked_set(x, ins.rd, res.astype(np.int32), mask)
-            elif m == "fcvt.w.s":
-                v = f[ins.rs1].astype(np.float64)
-                v = np.where(np.isnan(v), 0.0, v)
-                res = np.trunc(v).astype(np.int64).astype(np.int32)
-                _masked_set(x, ins.rd, res, mask)
-            elif m == "fcvt.s.w":
-                _masked_setf(f, ins.rd, x[ins.rs1].astype(np.float32), mask)
-            elif m == "fmv.x.w":
-                _masked_set(x, ins.rd, f[ins.rs1].view(np.int32), mask)
-            elif m == "fmv.w.x":
-                _masked_setf(f, ins.rd, x[ins.rs1].view(np.float32), mask)
-            else:  # pragma: no cover - closed mnemonic set
-                raise SimulationError(f"cannot execute {m}")
-        if advance:
-            warp.pc += 4
-        warp.x[0] = 0
-        self._writeback(warp, meta, now, latency)
-
-    # -- branches and CSRs -------------------------------------------------
-
-    def _branch_taken(self, warp: Warp, ins: Instruction) -> bool:
-        a = warp.x[ins.rs1]
-        b = warp.x[ins.rs2]
-        m = ins.mnemonic
-        if m == "beq":
-            cond = a == b
-        elif m == "bne":
-            cond = a != b
-        elif m == "blt":
-            cond = a < b
-        elif m == "bge":
-            cond = a >= b
-        elif m == "bltu":
-            cond = a.view(np.uint32) < b.view(np.uint32)
-        else:
-            cond = a.view(np.uint32) >= b.view(np.uint32)
-        active = cond[warp.tmask]
-        if len(active) == 0:
-            raise SimulationError(
-                f"core {self.cid} warp {warp.wid}: branch with empty mask "
-                f"at pc {warp.pc:#x}"
-            )
-        if active.all():
-            return True
-        if not active.any():
-            return False
-        raise SimulationError(
-            f"core {self.cid} warp {warp.wid}: divergent branch executed "
-            f"without SPLIT at pc {warp.pc:#x} (miscompiled kernel)"
-        )
 
     def _uniform_value(self, warp: Warp, values: np.ndarray) -> int:
         active = values[warp.tmask]
@@ -393,6 +381,17 @@ class Core:
         return int(active[0])
 
     def _read_csr(self, warp: Warp, csr: int) -> np.ndarray:
+        if csr == CSR.TMASK:
+            # The only CSR whose value changes while a group runs.
+            return np.full(self.config.threads, warp.tmask_bits(),
+                           dtype=np.int32)
+        cached = warp.csr_cache.get(csr)
+        if cached is None:
+            cached = self._csr_value(warp, csr)
+            warp.csr_cache[csr] = cached
+        return cached
+
+    def _csr_value(self, warp: Warp, csr: int) -> np.ndarray:
         T = self.config.threads
         if csr == CSR.THREAD_ID:
             return np.arange(T, dtype=np.int32)
@@ -406,125 +405,170 @@ class Core:
             return np.full(T, self.config.warps, dtype=np.int32)
         if csr == CSR.NUM_CORES:
             return np.full(T, self.config.cores, dtype=np.int32)
-        if csr == CSR.TMASK:
-            return np.full(T, warp.tmask_bits(), dtype=np.int32)
         if csr in warp.csrs:
             return np.full(T, warp.csrs[csr], dtype=np.int32)
         raise TrapError(f"read of unknown CSR {csr:#x}")
 
     # -- memory --------------------------------------------------------------
 
-    def _execute_mem(self, warp: Warp, ins: Instruction, meta: InstrMeta,
-                     now: int) -> None:
+    def _exec_load(self, warp: Warp, d, now: int) -> None:
         cfg = self.config
-        m = ins.mnemonic
+        mask = warp.tmask
+        # Replay memo: a load bounced off full MSHRs re-issues with the
+        # warp untouched (no writeback happened, no other instruction of
+        # this warp ran in between — _iseq proves it), so the address
+        # vector and line grouping are reusable verbatim.
+        full = warp._full
+        memo = warp._lsu_replay
+        if memo is not None and memo[0] == warp._iseq - 1 \
+                and memo[1] == warp.pc:
+            _, _, active_addrs, lanes, items = memo
+        else:
+            row = warp.x[d.rs1]
+            # int32 row + int64 scalar upcasts in a single ufunc call.
+            active_addrs = (row if full else row[mask]) + d.imm64
+            lanes = len(active_addrs)
+            items = None
+        completion, items = self._lsu_load_timing(active_addrs, lanes,
+                                                  now, items)
+        if completion is None:
+            # All MSHRs busy: the load is replayed later; this issue
+            # slot is wasted (an LSU stall in the paper's terms).
+            warp._lsu_replay = (warp._iseq, warp.pc, active_addrs,
+                                lanes, items)
+            warp.ready_at = now + cfg.replay_penalty
+            self.stats.lsu_replays += 1
+            return
+        warp._lsu_replay = None
+        mem = self.machine.memory
+        if d.aux:  # flw
+            vals = mem.gather_f32(active_addrs)
+            if full:
+                warp.f[d.rd] = vals
+            else:
+                warp.f[d.rd][mask] = vals
+            warp.f_ready[d.rd] = completion
+        else:
+            vals = mem.gather_i32(active_addrs)
+            if d.wb_x >= 0:
+                if full:
+                    warp.x[d.rd] = vals
+                else:
+                    warp.x[d.rd][mask] = vals
+                warp.x_ready[d.rd] = completion
+        warp.pc += 4
+        self._lsu_book(lanes, completion, now)
+
+    def _exec_store(self, warp: Warp, d, now: int) -> None:
+        full = warp._full
+        mask = warp.tmask
+        row = warp.x[d.rs1]
+        active_addrs = (row if full else row[mask]) + d.imm64
+        lanes = len(active_addrs)
+        mem = self.machine.memory
+        if d.aux:  # fsw
+            src = warp.f[d.rs2]
+            mem.scatter_f32(active_addrs, src if full else src[mask])
+        else:
+            src = warp.x[d.rs2]
+            mem.scatter_i32(active_addrs, src if full else src[mask])
+        completion = self._lsu_store_timing(active_addrs, lanes, now)
+        warp.pc += 4
+        self._lsu_book(lanes, completion, now)
+
+    def _exec_amo(self, warp: Warp, d, now: int) -> None:
+        # AMOs bypass the cache and serialise per lane through DRAM.
+        cfg = self.config
+        m = d.mnemonic
         mem = self.machine.memory
         mask = warp.tmask
-        lanes = int(mask.sum())
-        base = warp.x[ins.rs1].astype(np.int64)
-
-        if m in ("lw", "flw"):
-            addrs = base + ins.imm
-            active_addrs = addrs[mask]
-            timing = self._lsu_load_timing(active_addrs, lanes, now)
-            if timing is None:
-                # All MSHRs busy: the load is replayed later; this issue
-                # slot is wasted (an LSU stall in the paper's terms).
-                warp.ready_at = now + cfg.replay_penalty
-                self.stats.lsu_replays += 1
-                return
-            completion = timing
-            if m == "lw":
-                vals = np.zeros_like(warp.x[0])
-                vals[mask] = mem.gather_i32(active_addrs)
-                _masked_set(warp.x, ins.rd, vals, mask)
-            else:
-                vals = np.zeros_like(warp.f[0])
-                vals[mask] = mem.gather_f32(active_addrs)
-                _masked_setf(warp.f, ins.rd, vals, mask)
-        elif m in ("sw", "fsw"):
-            addrs = base + ins.imm
-            active_addrs = addrs[mask]
-            if m == "sw":
-                mem.scatter_i32(active_addrs, warp.x[ins.rs2][mask])
-            else:
-                mem.scatter_f32(active_addrs, warp.f[ins.rs2][mask])
-            completion = self._lsu_store_timing(active_addrs, lanes, now)
-        else:
-            # AMOs bypass the cache and serialise per lane through DRAM.
-            addrs = base[mask]
-            if (addrs & 3).any():
-                raise TrapError(f"unaligned atomic at pc {warp.pc:#x}")
-            completion = now + cfg.dcache_hit_latency
-            results = np.zeros(lanes, dtype=np.int32)
-            src = warp.x[ins.rs2][mask]
-            expected = warp.x[ins.rd][mask] if m == "amocas.w" else None
-            lane_ids = np.nonzero(mask)[0]
-            for i in range(lanes):
-                addr = int(addrs[i])
-                line = addr & ~(cfg.line_size - 1)
-                completion = self.machine.dram.access(line, completion)
-                old = mem.read_word(addr)
-                results[i] = old
-                val = int(src[i])
-                if m == "amoadd.w":
-                    new = int(np.int32(np.int64(old) + val))
-                elif m == "amomin.w":
-                    new = min(old, val)
-                elif m == "amomax.w":
-                    new = max(old, val)
-                elif m == "amoswap.w":
-                    new = val
-                else:  # amocas.w
-                    new = val if old == int(expected[i]) else old
-                mem.write_word(addr, new)
-            if ins.rd != 0:
-                full = np.zeros_like(warp.x[0])
-                full[lane_ids] = results
-                _masked_set(warp.x, ins.rd, full, mask)
+        base = warp.x[d.rs1].astype(np.int64)
+        addrs = base[mask]
+        lanes = len(addrs)
+        if (addrs & 3).any():
+            raise TrapError(f"unaligned atomic at pc {warp.pc:#x}")
+        completion = now + cfg.dcache_hit_latency
+        results = np.zeros(lanes, dtype=np.int32)
+        src = warp.x[d.rs2][mask]
+        expected = warp.x[d.rd][mask] if m == "amocas.w" else None
+        for i in range(lanes):
+            addr = int(addrs[i])
+            line = addr & ~(cfg.line_size - 1)
+            completion = self.machine.dram.access(line, completion)
+            old = mem.read_word(addr)
+            results[i] = old
+            val = int(src[i])
+            if m == "amoadd.w":
+                new = int(np.int32(np.int64(old) + val))
+            elif m == "amomin.w":
+                new = min(old, val)
+            elif m == "amomax.w":
+                new = max(old, val)
+            elif m == "amoswap.w":
+                new = val
+            else:  # amocas.w
+                new = val if old == int(expected[i]) else old
+            mem.write_word(addr, new)
+        if d.rd != 0:
+            warp.x[d.rd][mask] = results
+            warp.x_ready[d.rd] = completion
         warp.pc += 4
-        warp.x[0] = 0
-        self.lsu_inflight.append(completion)
-        unpack = max(1, -(-lanes // cfg.lsu_lanes_per_cycle))
-        self.lsu_busy_until = max(self.lsu_busy_until, now) + unpack
-        if meta.dst is not None:
-            cls, reg = meta.dst
-            if cls == "x":
-                warp.x_ready[reg] = completion
-            else:
-                warp.f_ready[reg] = completion
+        self._lsu_book(lanes, completion, now)
 
-    def _lsu_load_timing(self, addrs: np.ndarray, lanes: int,
-                         now: int) -> int | None:
+    def _lsu_book(self, lanes: int, completion: int, now: int) -> None:
+        """Common LSU tail: occupy a queue entry until ``completion`` and
+        hold the lane-sequencer for the unpack beats."""
+        self.lsu_inflight.append(completion)
+        if completion < self._purge_at:
+            self._purge_at = completion
+        unpack = max(1, -(-lanes // self.config.lsu_lanes_per_cycle))
+        self.lsu_busy_until = max(self.lsu_busy_until, now) + unpack
+
+    def _lsu_load_timing(self, addrs: np.ndarray, lanes: int, now: int,
+                         items: list[tuple[int, int]] | None = None,
+                         ) -> tuple[int | None, list[tuple[int, int]]]:
         """Cache/MSHR/DRAM timing for one warp load.
 
-        Returns the data-ready cycle, or ``None`` when a new line miss
-        found every MSHR occupied (the load must be replayed).
+        Returns ``(completion, items)`` where ``completion`` is the
+        data-ready cycle, or ``None`` when a new line miss found every
+        MSHR occupied (the load must be replayed). ``items`` is the
+        sorted per-line lane grouping — callers may pass it back in on
+        a replay to skip recomputing it.
         """
         cfg = self.config
-        if len(addrs) == 0:
-            return now + cfg.dcache_hit_latency
-        line_ids = addrs // cfg.line_size
-        lines, lane_counts = np.unique(line_ids, return_counts=True)
+        if lanes == 0:
+            return now + cfg.dcache_hit_latency, []
+        if items is None:
+            counts: dict[int, int] = {}
+            ls = cfg.line_size
+            get = counts.get
+            for a in addrs.tolist():
+                ln = a // ls
+                counts[ln] = get(ln, 0) + 1
+            # Sorted line order: DRAM bank state and the deterministic
+            # row evictions depend on request order, so it must stay
+            # canonical.
+            items = sorted(counts.items())
         completion = now + cfg.dcache_hit_latency
         new_misses: list[tuple[int, int]] = []  # (line, lanes)
         waiting_lanes = 0
-        merged_completions: list[int] = []
-        for line, nlanes in zip(lines, lane_counts):
-            line = int(line) * cfg.line_size
-            pending = self.mshrs.get(line)
+        mshrs = self.mshrs
+        for ln, nlanes in items:
+            line = ln * cfg.line_size
+            pending = mshrs.get(line)
             if pending is not None:
                 # Fill already in flight: lanes merge onto it but still
                 # occupy their own MSHR entries until it returns.
-                merged_completions.append(pending)
-                waiting_lanes += int(nlanes)
+                if pending > completion:
+                    completion = pending
+                waiting_lanes += nlanes
             elif self.dcache.lookup(line):
                 continue
             else:
-                new_misses.append((line, int(nlanes)))
-                waiting_lanes += int(nlanes)
+                new_misses.append((line, nlanes))
+                waiting_lanes += nlanes
         if waiting_lanes:
-            occupancy = sum(n for _, n in self.mshr_entries)
+            occupancy = self._mshr_occupancy
             free = cfg.mshrs - occupancy
             # Oversized gathers (more lanes than MSHRs exist) are allowed
             # through once the MSHRs have fully drained, guaranteeing
@@ -532,24 +576,26 @@ class Core:
             if waiting_lanes > free and not (
                 waiting_lanes > cfg.mshrs and occupancy == 0
             ):
-                return None
-            for t in merged_completions:
-                completion = max(completion, t)
-            for line, nlanes in new_misses:
-                t = self.machine.dram.access(line,
-                                             now + cfg.dcache_hit_latency)
-                self.mshrs[line] = t
+                return None, items
+            dram_access = self.machine.dram.access
+            for line, _ in new_misses:
+                t = dram_access(line, now + cfg.dcache_hit_latency)
+                mshrs[line] = t
+                if t < self._purge_at:
+                    self._purge_at = t
                 self.dcache.fill(line)
-                merged_completions.append(t)
-                completion = max(completion, t)
+                if t > completion:
+                    completion = t
             # Lanes of each line release when their fill returns.
-            for line, nlanes in zip(lines, lane_counts):
-                line = int(line) * cfg.line_size
-                t = self.mshrs.get(line)
+            for ln, nlanes in items:
+                t = mshrs.get(ln * cfg.line_size)
                 if t is not None:
-                    self.mshr_entries.append((t, int(nlanes)))
+                    self.mshr_entries.append((t, nlanes))
+                    self._mshr_occupancy += nlanes
+                    if t < self._purge_at:
+                        self._purge_at = t
         unpack = max(1, -(-lanes // cfg.lsu_lanes_per_cycle))
-        return completion + unpack
+        return completion + unpack, items
 
     def _lsu_store_timing(self, addrs: np.ndarray, lanes: int,
                           now: int) -> int:
@@ -560,125 +606,105 @@ class Core:
         cfg = self.config
         if len(addrs) == 0:
             return now + cfg.dcache_hit_latency
-        lines = np.unique(addrs // cfg.line_size) * cfg.line_size
+        seen: dict[int, None] = {}
+        ls = cfg.line_size
+        for a in addrs.tolist():
+            seen[a // ls] = None
         completion = now + cfg.dcache_hit_latency
-        for line in lines:
-            line = int(line)
-            if line in self.wc_buffer:
+        wc = self.wc_buffer
+        for ln in sorted(seen):
+            line = ln * cfg.line_size
+            if line in wc:
                 self._wc_stamp += 1
-                self.wc_buffer[line] = self._wc_stamp  # refresh LRU
+                wc[line] = self._wc_stamp  # refresh LRU
                 continue
             t = self.machine.dram.access(line, now + cfg.dcache_hit_latency)
-            completion = max(completion, t)
+            if t > completion:
+                completion = t
             self._wc_stamp += 1
-            self.wc_buffer[line] = self._wc_stamp
-            if len(self.wc_buffer) > cfg.wc_entries:
-                victim = min(self.wc_buffer, key=self.wc_buffer.get)
-                del self.wc_buffer[victim]
+            wc[line] = self._wc_stamp
+            if len(wc) > cfg.wc_entries:
+                victim = min(wc, key=wc.get)
+                del wc[victim]
         unpack = max(1, -(-lanes // cfg.lsu_lanes_per_cycle))
         return completion + unpack
 
     # -- SIMT control -------------------------------------------------------
 
-    def _execute_simt(self, warp: Warp, ins: Instruction, now: int) -> None:
-        m = ins.mnemonic
-        if m == "split":
-            self._execute_split(warp, ins)
-        elif m == "join":
-            entry = warp.pop_join()
-            if entry.uniform:
-                warp.pc += 4
-            elif entry.pc is not None:
-                warp.tmask = entry.mask
-                warp.pc = entry.pc
-            else:
-                warp.tmask = entry.mask
-                warp.pc += 4
-        elif m == "pred":
-            cont = (warp.x[ins.rs1] != 0) & warp.tmask
-            if cont.any():
-                warp.tmask = cont
-                warp.pc += 8  # skip the loop-exit jump
-            else:
-                bits = int(warp.x[ins.rs2][warp.first_active_lane()])
-                warp.set_tmask_bits(bits)
-                warp.pc += 4  # execute the loop-exit jump
-        elif m == "tmc":
-            bits = int(warp.x[ins.rs1][warp.first_active_lane()])
-            warp.set_tmask_bits(bits)
-            warp.pc += 4
-            if not warp.tmask.any():
-                warp.halt()
-                self.machine.on_warp_halt(self, warp, now)
-        elif m == "halt":
-            warp.pc += 4
-            warp.halt()
-            self.machine.on_warp_halt(self, warp, now)
-        elif m == "bar":
-            bar_id = int(warp.x[ins.rs1][warp.first_active_lane()])
-            count = int(warp.x[ins.rs2][warp.first_active_lane()])
-            warp.pc += 4
-            waiting = self.barriers.setdefault(bar_id, [])
-            waiting.append(warp.wid)
-            if len(waiting) >= count:
-                for wid in waiting:
-                    self.warps[wid].at_barrier = False
-                    self.warps[wid].ready_at = now + 1
-                del self.barriers[bar_id]
-            else:
-                warp.at_barrier = True
-                self.stats.barrier_waits += 1
-        elif m == "wspawn":
-            count = int(warp.x[ins.rs1][warp.first_active_lane()])
-            target = int(warp.x[ins.rs2][warp.first_active_lane()])
-            warp.pc += 4
-            spawned = 0
-            for other in self.warps:
-                if other is warp or other.active or spawned >= count - 1:
-                    continue
-                other.pc = target
-                other.tmask = np.ones(self.config.threads, dtype=bool)
-                other.active = True
-                other.ready_at = now + 1
-                spawned += 1
-        elif m == "printfx":
-            self._execute_printf(warp, ins)
-            warp.pc += 4
-        else:  # pragma: no cover
-            raise SimulationError(f"unknown SIMT op {m}")
-        warp.x[0] = 0
+    def _exec_split(self, warp: Warp, d, now: int) -> None:
+        """Fused SPLIT + conditional branch (see codegen docstring).
 
-    def _execute_split(self, warp: Warp, ins: Instruction) -> None:
-        """Fused SPLIT + conditional branch (see codegen docstring)."""
-        branch, _ = self.machine.fetch(warp.pc + 4)
-        if branch.mnemonic not in ("beq", "bne") or branch.rs2 != 0:
-            raise SimulationError(
-                f"SPLIT at pc {warp.pc:#x} not followed by a beq/bne on x0"
-            )
-        pred = (warp.x[ins.rs1] != 0) & warp.tmask
-        if branch.mnemonic == "beq":
+        The following branch is static, so its direction sense and
+        target were resolved at decode time (``d.aux``); the dynamic
+        fallback only runs for malformed pairs, preserving the original
+        diagnostics.
+        """
+        info = d.aux
+        if info is None:
+            branch = self.machine.fetch(warp.pc + 4)
+            if branch.mnemonic not in ("beq", "bne") or branch.rs2 != 0:
+                raise SimulationError(
+                    f"SPLIT at pc {warp.pc:#x} not followed by a beq/bne "
+                    f"on x0"
+                )
+            info = (branch.mnemonic == "beq", warp.pc + 4 + branch.imm)
+        then_on_true, branch_target = info
+        pred = (warp.x[d.rs1] != 0) & warp.tmask
+        if then_on_true:
             # Lanes with cond == 0 take the branch (the else side).
             else_mask = warp.tmask & ~pred
             then_mask = pred
         else:
             else_mask = pred
             then_mask = warp.tmask & ~pred
-        branch_target = warp.pc + 4 + branch.imm
         if not else_mask.any() or not then_mask.any():
             warp.push_uniform_marker()
             warp.pc += 4  # branch executes normally next cycle
             return
         warp.push_divergence(warp.tmask, else_mask, branch_target)
         warp.tmask = then_mask
+        warp._full = False  # both sides non-empty, so strictly partial
         warp.pc += 8  # branch is consumed by the split
 
-    def _execute_printf(self, warp: Warp, ins: Instruction) -> None:
+    def _exec_bar(self, warp: Warp, d, now: int) -> None:
+        bar_id = int(warp.x[d.rs1][warp.first_active_lane()])
+        count = int(warp.x[d.rs2][warp.first_active_lane()])
+        warp.pc += 4
+        waiting = self.barriers.setdefault(bar_id, [])
+        waiting.append(warp.wid)
+        if len(waiting) >= count:
+            for wid in waiting:
+                self.warps[wid].at_barrier = False
+                self.warps[wid].ready_at = now + 1
+            del self.barriers[bar_id]
+        else:
+            warp.at_barrier = True
+            warp.ready_at = BLOCKED
+            self.stats.barrier_waits += 1
+
+    def _exec_wspawn(self, warp: Warp, d, now: int) -> None:
+        count = int(warp.x[d.rs1][warp.first_active_lane()])
+        target = int(warp.x[d.rs2][warp.first_active_lane()])
+        warp.pc += 4
+        spawned = 0
+        for other in self.warps:
+            if other is warp or other.active or spawned >= count - 1:
+                continue
+            other.pc = target
+            other.tmask = np.ones(self.config.threads, dtype=bool)
+            other._full = True
+            other.active = True
+            other.ready_at = now + 1
+            spawned += 1
+            self.machine.on_warp_spawn(self, other, now)
+
+    def _execute_printf(self, warp: Warp, d) -> None:
         mem = self.machine.memory
-        fmt_addr = int(warp.x[ins.rs1][warp.first_active_lane()])
+        fmt_addr = int(warp.x[d.rs1][warp.first_active_lane()])
         fmt = mem.read_cstring(fmt_addr)
         spec_types = _printf_arg_types(fmt)
         for lane in np.nonzero(warp.tmask)[0]:
-            cursor = int(warp.x[ins.rs2][lane])
+            cursor = int(warp.x[d.rs2][lane])
             args = []
             for ty in spec_types:
                 word = mem.read_word(cursor)
@@ -716,75 +742,9 @@ def _printf_arg_types(fmt: str) -> list[str]:
 
 
 # ---------------------------------------------------------------------------
-# Lane-vector arithmetic helpers.
+# RISC-V M-extension division semantics (shared with the decoded handler
+# tables; the corner cases are pinned by tests).
 # ---------------------------------------------------------------------------
-
-
-def _masked_set(regfile: np.ndarray, rd: int, values: np.ndarray,
-                mask: np.ndarray) -> None:
-    if rd != 0:  # writes to x0 are dropped
-        regfile[rd][mask] = values[mask]
-
-
-def _masked_setf(regfile: np.ndarray, rd: int, values: np.ndarray,
-                 mask: np.ndarray) -> None:
-    regfile[rd][mask] = values[mask]
-
-
-def _int_binop(m: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    if m == "add":
-        return a + b
-    if m == "sub":
-        return a - b
-    if m == "sll":
-        return a << (b & 31)
-    if m == "slt":
-        return (a < b).astype(np.int32)
-    if m == "sltu":
-        return (a.view(np.uint32) < b.view(np.uint32)).astype(np.int32)
-    if m == "xor":
-        return a ^ b
-    if m == "srl":
-        return (a.view(np.uint32) >> (b & 31).view(np.uint32)).view(np.int32)
-    if m == "sra":
-        return a >> (b & 31)
-    if m == "or":
-        return a | b
-    if m == "and":
-        return a & b
-    if m == "mul":
-        return (a.astype(np.int64) * b.astype(np.int64)).astype(np.int32)
-    if m == "mulh":
-        return ((a.astype(np.int64) * b.astype(np.int64)) >> 32).astype(
-            np.int32)
-    if m == "div":
-        return _sdiv(a, b)
-    if m == "rem":
-        return _srem(a, b)
-    raise SimulationError(f"bad int binop {m}")  # pragma: no cover
-
-
-def _int_immop(m: str, a: np.ndarray, imm: int) -> np.ndarray:
-    if m == "addi":
-        return a + np.int32(imm)
-    if m == "slti":
-        return (a < np.int32(imm)).astype(np.int32)
-    if m == "sltiu":
-        return (a.view(np.uint32) < np.uint32(imm & 0xFFFFFFFF)).astype(
-            np.int32)
-    if m == "xori":
-        return a ^ np.int32(imm)
-    if m == "ori":
-        return a | np.int32(imm)
-    if m == "andi":
-        return a & np.int32(imm)
-    if m == "slli":
-        return a << (imm & 31)
-    if m == "srli":
-        return (a.view(np.uint32) >> np.uint32(imm & 31)).view(np.int32)
-    if m == "srai":
-        return a >> (imm & 31)
-    raise SimulationError(f"bad int immop {m}")  # pragma: no cover
 
 
 def _sdiv(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -807,50 +767,3 @@ def _srem(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         a[safe].astype(np.int64) - q.astype(np.int64) * b[safe].astype(np.int64)
     ).astype(np.int32)
     return res
-
-
-def _float_binop(m: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    if m == "fadd.s":
-        return a + b
-    if m == "fsub.s":
-        return a - b
-    if m == "fmul.s":
-        return a * b
-    if m == "fdiv.s":
-        return a / b
-    if m == "fmin.s":
-        return np.fmin(a, b)
-    if m == "fmax.s":
-        return np.fmax(a, b)
-    if m == "fpow.s":
-        return np.power(a.astype(np.float64), b.astype(np.float64)).astype(
-            np.float32)
-    raise SimulationError(f"bad float binop {m}")  # pragma: no cover
-
-
-def _float_unop(m: str, a: np.ndarray) -> np.ndarray:
-    if m == "fsqrt.s":
-        return np.sqrt(a)
-    if m == "fexp.s":
-        return np.exp(a.astype(np.float64)).astype(np.float32)
-    if m == "flog.s":
-        return np.log(a.astype(np.float64)).astype(np.float32)
-    if m == "fsin.s":
-        return np.sin(a.astype(np.float64)).astype(np.float32)
-    if m == "fcos.s":
-        return np.cos(a.astype(np.float64)).astype(np.float32)
-    if m == "ffloor.s":
-        return np.floor(a)
-    raise SimulationError(f"bad float unop {m}")  # pragma: no cover
-
-
-def _float_sgnj(m: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    abits = a.view(np.int32)
-    bbits = b.view(np.int32)
-    if m == "fsgnj.s":
-        out = (abits & 0x7FFFFFFF) | (bbits & np.int32(-(2**31)))
-    elif m == "fsgnjn.s":
-        out = (abits & 0x7FFFFFFF) | (~bbits & np.int32(-(2**31)))
-    else:  # fsgnjx.s
-        out = abits ^ (bbits & np.int32(-(2**31)))
-    return out.view(np.float32)

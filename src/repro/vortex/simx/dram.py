@@ -25,8 +25,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from .config import DRAMConfig
 
 
@@ -45,7 +43,7 @@ class DRAM:
     def __init__(self, config: DRAMConfig, line_size: int):
         self.config = config
         self.line_size = line_size
-        self.bank_free = np.zeros(config.banks, dtype=np.int64)
+        self.bank_free: list[int] = [0] * config.banks
         #: per-bank open-row tables.
         self.open_rows: list[list[int]] = [
             [] for _ in range(config.banks)
@@ -74,7 +72,8 @@ class DRAM:
                 self._evict_seed = (self._evict_seed * 1103515245
                                     + 12345) & 0x7FFFFFFF
                 table[self._evict_seed % len(table)] = row
-        start = max(now, int(self.bank_free[bank]))
+        free = self.bank_free[bank]
+        start = now if now > free else free
         done = start + service
         self.bank_free[bank] = done
         return done + cfg.latency

@@ -4,14 +4,31 @@ The dispatcher models Vortex's work-group scheduling: work-groups are
 assigned to cores as warp-sets (one group occupies ``ceil(local_items /
 T)`` warps on one core and one *slot*, which selects its barrier id and
 local-memory window). Warps halt when their kernel returns; freed warps
-immediately receive the next pending group. The machine advances one
-cycle at a time while any core issues, and skips ahead to the next
-scoreboard/LSU completion when every core is stalled (event skipping:
-identical cycle counts, much faster wall-clock).
+immediately receive the next pending group.
+
+The main loop advances one cycle at a time only while some core is
+actually issuing. Two fast-forward mechanisms skip the rest (both
+behaviour-preserving — the golden-trace suite pins every counter):
+
+* **all-stalled jump** — when no core issued and none is mid-issue, the
+  clock jumps straight to the earliest scoreboard/LSU completion
+  (``next_event_time``); the skipped cycles book no statistics.
+* **bulk stall booking** — when no core issued but some are still
+  burning multi-beat issue cycles, every core's tick outcome is frozen
+  until the earliest ``next_change_time``; the window's cycles are
+  booked per core in one multiplication (active for busy cores,
+  idle + the recorded stall reason for stalled ones) and the clock
+  jumps to the window's end.
+
+Set ``REPRO_SIMX_NO_FASTFORWARD=1`` (or pass ``fast_forward=False``) to
+visit every cycle instead; cycle counts, cache/DRAM traffic and results
+are identical, only wall-clock and the idle-cycle bookkeeping of the
+jumped ranges differ (the jump path books nothing for skipped cycles).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -22,12 +39,24 @@ from ...ocl.ndrange import NDRange
 from ...profiling import Profiler, ensure_profiler
 from .. import layout
 from ..codegen import VortexKernelImage
-from ..isa import CSR, Instruction
+from ..isa import CSR
 from .config import VortexConfig
-from .core import Core, CoreStats, InstrMeta, instr_meta
+from .core import (
+    Core,
+    CoreStats,
+    STALL_LSU,
+    STALL_SCOREBOARD,
+    TICK_BUSY,
+    TICK_IDLE,
+    TICK_ISSUED,
+)
+from .decode import DecodedInstr, decode_program
 from .dram import DRAM
 from .mem import Memory
 from .warp import BLOCKED
+
+#: Environment variable disabling both fast-forward mechanisms.
+NO_FASTFORWARD_ENV = "REPRO_SIMX_NO_FASTFORWARD"
 
 
 @dataclass
@@ -47,13 +76,18 @@ class LaunchResult:
         return self.cycles / (clock_mhz * 1e3)
 
 
+def _fresh_skip_stats() -> dict[str, int]:
+    return {"ff_windows": 0, "ff_cycles": 0,
+            "idle_jumps": 0, "idle_cycles": 0}
+
+
 class Machine:
     def __init__(self, config: VortexConfig, trace: bool = False,
-                 profiler: Profiler | None = None):
+                 profiler: Profiler | None = None,
+                 fast_forward: bool | None = None):
         self.config = config
         self.memory = Memory()
         self.dram = DRAM(config.dram, config.line_size)
-        self.cores = [Core(c, config, self) for c in range(config.cores)]
         self.printf_output: list[str] = []
         #: profiling sink; the shared NULL_PROFILER when disabled, so the
         #: per-cycle guard is a single attribute test.
@@ -66,8 +100,14 @@ class Machine:
         self.trace: list[tuple[int, int, int, int, str, int]] | None = (
             [] if trace else None
         )
+        if fast_forward is None:
+            fast_forward = os.environ.get(NO_FASTFORWARD_ENV, "") in ("", "0")
+        self.fast_forward = fast_forward
         self.program = None
-        self._meta: list[InstrMeta] = []
+        self._decoded: list[DecodedInstr] = []
+        self._code_base = layout.CODE_BASE
+        #: cycles the clock jumped over, by mechanism (reset per launch).
+        self.skip_stats = _fresh_skip_stats()
         self._group_remaining: dict[int, int] = {}
         self._group_slot: dict[int, tuple[int, int]] = {}  # key -> (core, slot)
         self._slot_free: list[list[bool]] = [
@@ -78,6 +118,18 @@ class Machine:
         self._dispatch_cursor = 0
         self._image: VortexKernelImage | None = None
         self._groups_dispatched = 0
+        self._active_warps = 0
+        #: dispatch found no room on its last attempt; stays set until a
+        #: warp halts (the only event that frees warps or slots).
+        self._dispatch_blocked = False
+        #: per-core idle-freeze horizon: while ``now`` is below a core's
+        #: entry its tick outcome is provably unchanged (see
+        #: ``Core.next_change_time``), so the main loop books the frozen
+        #: classification directly instead of re-scanning the core.
+        #: Dispatching to a core clears its entry.
+        self._frozen_until = [0] * config.cores
+        # Cores last: Core.__init__ captures bound machine methods.
+        self.cores = [Core(c, config, self) for c in range(config.cores)]
 
     # ------------------------------------------------------------------
     # Image loading.
@@ -91,11 +143,22 @@ class Machine:
         for fmt, addr in image.fmt_table.items():
             raw = fmt.encode() + b"\x00"
             self.memory.write_bytes(addr, raw)
-        self._meta = [instr_meta(i) for i in image.program.instructions]
+        # Decode every static instruction once; the issue stage indexes
+        # this list instead of re-decoding per dynamic instruction.
+        self._decoded = decode_program(image.program, self.config)
+        self._code_base = image.program.code_base
+        for core in self.cores:
+            core._decoded = self._decoded
+            core._code_base = self._code_base
 
-    def fetch(self, pc: int) -> tuple[Instruction, InstrMeta]:
-        idx = self.program.index_of_pc(pc)
-        return self.program.instructions[idx], self._meta[idx]
+    def fetch(self, pc: int) -> DecodedInstr:
+        idx = pc - self._code_base
+        if not idx & 3:
+            idx >>= 2
+            if 0 <= idx < len(self._decoded):
+                return self._decoded[idx]
+        # Out-of-program PC: index_of_pc raises the canonical error.
+        return self._decoded[self.program.index_of_pc(pc)]
 
     # ------------------------------------------------------------------
     # Launch.
@@ -126,6 +189,12 @@ class Machine:
         self._ndrange = ndrange
         self._groups_dispatched = 0
         self.printf_output.clear()
+        self.skip_stats = _fresh_skip_stats()
+        skip = self.skip_stats
+        self._active_warps = sum(
+            1 for core in self.cores for w in core.warps if w.active
+        )
+        self._dispatch_blocked = False
         now = 0
         prof = self.profiler
         profiling = prof.enabled
@@ -135,32 +204,132 @@ class Machine:
         self._try_dispatch(now)
         total_groups = len(self._pending) + self._groups_dispatched
 
-        while True:
-            issued_any = False
-            for core in self.cores:
-                if core.tick(now):
-                    issued_any = True
-            if self._pending:
-                self._try_dispatch(now)
-            if profiling:
-                sampler.maybe_sample(now)
-            if self._done():
-                now += 1
-                break
-            if not issued_any:
-                nxt = min(core.next_event_time(now) for core in self.cores)
-                if nxt >= BLOCKED:
+        ff = self.fast_forward
+        cores = self.cores
+        codes = [0] * len(cores)
+        # _try_dispatch pops this list in place, so the binding is
+        # loop-invariant even as its contents drain.
+        pending = self._pending
+        frozen_until = self._frozen_until
+        for i in range(len(frozen_until)):
+            frozen_until[i] = 0
+        # Known multi-beat busy windows: while ``now`` is inside one the
+        # issue stage cannot change state, so the loop books the busy
+        # cycle directly instead of calling tick. (Deferring the lazy
+        # LSU purge is safe — its state is only read at issue time.)
+        busy_until = [0] * len(cores)
+        # Hoisted errstate: the decoded handlers run without a per-issue
+        # context manager (float div-by-zero etc. must stay silent).
+        with np.errstate(all="ignore"):
+            while True:
+                issued_any = False
+                busy_any = False
+                for i, core in enumerate(cores):
+                    if now < busy_until[i]:
+                        core.stats.cycles_active += 1
+                        codes[i] = TICK_BUSY
+                        busy_any = True
+                        continue
+                    if now < frozen_until[i]:
+                        # Frozen idle: book the cached classification
+                        # without re-scanning the warp set.
+                        stats = core.stats
+                        stats.idle_cycles += 1
+                        st = core._stall
+                        if st == STALL_LSU:
+                            stats.lsu_stalls += 1
+                        elif st == STALL_SCOREBOARD:
+                            stats.scoreboard_stalls += 1
+                        codes[i] = TICK_IDLE
+                        continue
+                    code = core.tick(now)
+                    codes[i] = code
+                    if code == TICK_ISSUED:
+                        issued_any = True
+                        busy_until[i] = core.issue_busy_until
+                    elif code == TICK_BUSY:
+                        busy_any = True
+                        busy_until[i] = core.issue_busy_until
+                    else:
+                        frozen_until[i] = core.next_change_time(now)
+                if pending and not self._dispatch_blocked:
+                    self._try_dispatch(now)
+                if profiling:
+                    sampler.maybe_sample(now)
+                # Inline _done(): this runs every cycle of the hot loop.
+                if not pending and self._active_warps == 0:
+                    now += 1
+                    break
+                if issued_any:
+                    now += 1
+                elif busy_any:
+                    if ff:
+                        # No core can issue before the earliest busy
+                        # expiry / stall release: book the whole window
+                        # at once with each core's frozen classification.
+                        skip_to = BLOCKED
+                        for i, core in enumerate(cores):
+                            if codes[i] == TICK_BUSY:
+                                t = core.issue_busy_until
+                            elif now < frozen_until[i]:
+                                t = frozen_until[i]
+                            else:
+                                t = core.next_change_time(now)
+                            if t < skip_to:
+                                skip_to = t
+                        k = skip_to - now - 1
+                        if k > 0:
+                            for i, core in enumerate(cores):
+                                stats = core.stats
+                                if codes[i] == TICK_BUSY:
+                                    stats.cycles_active += k
+                                else:
+                                    stats.idle_cycles += k
+                                    if core._stall == STALL_LSU:
+                                        stats.lsu_stalls += k
+                                    elif core._stall == STALL_SCOREBOARD:
+                                        stats.scoreboard_stalls += k
+                            skip["ff_windows"] += 1
+                            skip["ff_cycles"] += k
+                            now = skip_to
+                        else:
+                            now += 1
+                    else:
+                        now += 1
+                else:
+                    nxt = min(core.next_event_time(now) for core in cores)
+                    if nxt >= BLOCKED:
+                        raise self._stuck_error(
+                            "deadlock: all warps blocked "
+                            "(barrier mismatch?)",
+                            now,
+                        )
+                    if ff:
+                        jumped = max(now + 1, nxt)
+                        k = jumped - now - 1
+                        if k > 0:
+                            # Nothing changes before ``nxt`` (it is the
+                            # min over every pending threshold), so each
+                            # core would re-derive the same idle/stall
+                            # classification on every skipped cycle —
+                            # book the whole window at once to keep the
+                            # counters identical to a full visit.
+                            for core in cores:
+                                stats = core.stats
+                                stats.idle_cycles += k
+                                if core._stall == STALL_LSU:
+                                    stats.lsu_stalls += k
+                                elif core._stall == STALL_SCOREBOARD:
+                                    stats.scoreboard_stalls += k
+                            skip["idle_jumps"] += 1
+                            skip["idle_cycles"] += k
+                        now = jumped
+                    else:
+                        now += 1
+                if now > max_cycles:
                     raise self._stuck_error(
-                        "deadlock: all warps blocked (barrier mismatch?)",
-                        now,
+                        f"simulation exceeded {max_cycles} cycles", now
                     )
-                now = max(now + 1, nxt)
-            else:
-                now += 1
-            if now > max_cycles:
-                raise self._stuck_error(
-                    f"simulation exceeded {max_cycles} cycles", now
-                )
 
         if profiling:
             sampler.flush(now)
@@ -180,6 +349,10 @@ class Machine:
             groups_dispatched=total_groups,
             extra={
                 "lsu_replays": sum(c.stats.lsu_replays for c in self.cores),
+                "ff_windows": skip["ff_windows"],
+                "ff_cycles": skip["ff_cycles"],
+                "idle_jumps": skip["idle_jumps"],
+                "idle_skipped_cycles": skip["idle_cycles"],
             },
         )
 
@@ -220,11 +393,7 @@ class Machine:
         return exc
 
     def _done(self) -> bool:
-        if self._pending:
-            return False
-        return all(
-            not w.active for core in self.cores for w in core.warps
-        )
+        return not self._pending and self._active_warps == 0
 
     # ------------------------------------------------------------------
     # Profiling.
@@ -249,6 +418,7 @@ class Machine:
     def _profile_epilogue(self, now: int, total_groups: int) -> None:
         """Fold the end-of-launch counters into the profiler."""
         prof = self.profiler
+        skip = self.skip_stats
         totals = {
             "cycles": now,
             "groups_dispatched": total_groups,
@@ -269,6 +439,10 @@ class Machine:
             "dram.requests": self.dram.stats.requests,
             "dram.row_hits": self.dram.stats.row_hits,
             "dram.row_misses": self.dram.stats.row_misses,
+            "skip.ff_windows": skip["ff_windows"],
+            "skip.ff_cycles": skip["ff_cycles"],
+            "skip.idle_jumps": skip["idle_jumps"],
+            "skip.idle_cycles": skip["idle_cycles"],
         }
         prof.count_many(totals, prefix="simx.")
         hits, misses = totals["dcache.hits"], totals["dcache.misses"]
@@ -397,9 +571,18 @@ class Machine:
                 warp.reset_for_group(entry_pc, tmask, csrs, sp)
                 warp.ready_at = now + 1
                 warp.group_key = key
+            self._active_warps += warps_needed
             self._groups_dispatched += 1
+            # New warps invalidate the core's cached idle classification.
+            self._frozen_until[core.cid] = 0
+        # Loop exited either because nothing is pending or because a
+        # full scan found no room; in the latter case skip further
+        # attempts until a warp halts (nothing else frees capacity).
+        self._dispatch_blocked = bool(self._pending)
 
     def on_warp_halt(self, core: Core, warp, now: int = 0) -> None:
+        self._active_warps -= 1
+        self._dispatch_blocked = False
         key = warp.group_key
         if key is None:
             return
@@ -411,6 +594,9 @@ class Machine:
             if self.profiler.enabled:
                 self._profile_group_done(now, key, cid, slot)
         warp.group_key = None
+
+    def on_warp_spawn(self, core: Core, warp, now: int = 0) -> None:
+        self._active_warps += 1
 
 
 _DEVICE_PID = 0
@@ -425,14 +611,16 @@ class _BucketSampler:
     """Emits per-cycle-bucket issue/stall/idle breakdowns per core plus
     cache/DRAM counter snapshots as Chrome counter tracks.
 
-    The machine's event-skipping main loop does not visit every cycle,
+    The machine's fast-forwarding main loop does not visit every cycle,
     so sampling is edge-triggered: whenever ``now`` crosses the next
     bucket boundary the delta since the previous sample is emitted,
-    stamped at the current cycle (gaps in the track mean idle-skips).
+    stamped at the current cycle. Cycles the clock jumped over are
+    surfaced explicitly as a device-track "skipped cycles" counter, so a
+    sparse region of the timeline is distinguishable from a quiet one.
     """
 
     __slots__ = ("machine", "prof", "bucket", "next_ts", "core_prev",
-                 "dram_prev")
+                 "dram_prev", "skip_prev")
 
     def __init__(self, machine: Machine, prof: Profiler):
         self.machine = machine
@@ -441,6 +629,7 @@ class _BucketSampler:
         self.next_ts = self.bucket
         self.core_prev = [self._core_snapshot(c) for c in machine.cores]
         self.dram_prev = (0, 0)
+        self.skip_prev = 0
 
     @staticmethod
     def _core_snapshot(core: Core) -> tuple[int, int, int, int, int, int]:
@@ -489,3 +678,12 @@ class _BucketSampler:
                 pid=_DEVICE_PID,
             )
         self.dram_prev = dsnap
+        skip = self.machine.skip_stats
+        skipped = skip["ff_cycles"] + skip["idle_cycles"]
+        if skipped != self.skip_prev:
+            prof.sample(
+                "skipped cycles", ts=now,
+                values={"cycles": skipped - self.skip_prev},
+                pid=_DEVICE_PID,
+            )
+            self.skip_prev = skipped

@@ -38,11 +38,14 @@ class Memory:
         self.write_bytes(addr, raw)
 
     def read_word(self, addr: int) -> int:
-        self._check_word(np.array([addr]))
+        # Scalar fast path: skip the vector-check array allocation.
+        if addr < 0 or addr + 4 > self.size or addr & 3:
+            self._check_word(np.array([addr]))  # raises the right trap
         return int(self._words[addr >> 2])
 
     def write_word(self, addr: int, value: int) -> None:
-        self._check_word(np.array([addr]))
+        if addr < 0 or addr + 4 > self.size or addr & 3:
+            self._check_word(np.array([addr]))
         self._words[addr >> 2] = np.int32(value & 0xFFFFFFFF if value >= 0
                                           else value)
 
@@ -57,19 +60,19 @@ class Memory:
     # -- lane-vector access ----------------------------------------------
 
     def gather_i32(self, addrs: np.ndarray) -> np.ndarray:
-        self._check_word(addrs)
+        self._check_lanes(addrs)
         return self._words[addrs >> 2]
 
     def gather_f32(self, addrs: np.ndarray) -> np.ndarray:
-        self._check_word(addrs)
+        self._check_lanes(addrs)
         return self._floats[addrs >> 2]
 
     def scatter_i32(self, addrs: np.ndarray, values: np.ndarray) -> None:
-        self._check_word(addrs)
+        self._check_lanes(addrs)
         self._words[addrs >> 2] = values
 
     def scatter_f32(self, addrs: np.ndarray, values: np.ndarray) -> None:
-        self._check_word(addrs)
+        self._check_lanes(addrs)
         self._floats[addrs >> 2] = values
 
     # -- checks -----------------------------------------------------------
@@ -81,11 +84,36 @@ class Memory:
                 f"device memory of {self.size:#x} bytes"
             )
 
+    def _check_lanes(self, addrs: np.ndarray) -> None:
+        """Word-access check for lane vectors (at most 32 entries): a
+        plain Python pass beats three ufunc reductions at that size.
+        Same diagnostics as :meth:`_check_word` — range errors first,
+        first offending lane reported."""
+        if len(addrs) > 64:
+            self._check_word(addrs)
+            return
+        size = self.size
+        alist = addrs.tolist()
+        for a in alist:
+            if a < 0 or a + 4 > size:
+                raise TrapError(f"memory access at {a:#x} out of range")
+        for a in alist:
+            if a & 3:
+                raise TrapError(f"unaligned word access at {a:#x}")
+
     def _check_word(self, addrs: np.ndarray) -> None:
-        addrs_u = addrs.astype(np.int64)
-        if (addrs_u < 0).any() or (addrs_u + 4 > self.size).any():
+        addrs_u = addrs if addrs.dtype == np.int64 else addrs.astype(np.int64)
+        if len(addrs_u) == 0:
+            return
+        # Fast path: one min/max pass instead of three boolean reductions.
+        lo = int(addrs_u.min())
+        hi = int(addrs_u.max())
+        if lo >= 0 and hi + 4 <= self.size and not (addrs_u & 3).any():
+            return
+        # Slow path: reproduce the original diagnostics (range errors
+        # take priority over alignment, first offending lane reported).
+        if lo < 0 or hi + 4 > self.size:
             bad = addrs_u[(addrs_u < 0) | (addrs_u + 4 > self.size)][0]
             raise TrapError(f"memory access at {int(bad):#x} out of range")
-        if (addrs_u & 3).any():
-            bad = addrs_u[(addrs_u & 3) != 0][0]
-            raise TrapError(f"unaligned word access at {int(bad):#x}")
+        bad = addrs_u[(addrs_u & 3) != 0][0]
+        raise TrapError(f"unaligned word access at {int(bad):#x}")

@@ -5,6 +5,10 @@ SPLIT/JOIN divergence scheme (§II-D): SPLIT pushes the original mask and
 the not-taken side, JOIN pops — the taken path runs first, then the warp
 is redirected to the not-taken path, then the original mask is restored
 at the reconvergence point.
+
+The scoreboards (``x_ready``/``f_ready``) are plain Python lists: the
+issue stage reads a handful of entries per cycle and numpy scalar
+indexing costs more than it saves at that access pattern.
 """
 
 from __future__ import annotations
@@ -44,16 +48,33 @@ class Warp:
         self.tmask = np.zeros(num_threads, dtype=bool)
         self.active = False
         self.at_barrier = False
-        #: earliest cycle the warp may issue again (structural).
-        self.ready_at = 0
+        #: earliest cycle the warp may issue again (structural). Kept at
+        #: ``BLOCKED`` whenever the warp is inactive or parked at a
+        #: barrier, so the issue scan needs only this one comparison.
+        self.ready_at = BLOCKED
         #: scoreboard: cycle each register's value becomes available.
-        self.x_ready = np.zeros(32, dtype=np.int64)
-        self.f_ready = np.zeros(32, dtype=np.int64)
+        self.x_ready = [0] * 32
+        self.f_ready = [0] * 32
+        #: True while every lane is active — kept in sync at each tmask
+        #: write so handlers can take unmasked (whole-row) fast paths.
+        self._full = False
         self.ipdom: list[IPDOMEntry] = []
         #: warp-level CSRs set by the dispatcher (group ids etc.).
         self.csrs: dict[int, int] = {}
+        #: memoized CSR read vectors (everything but TMASK is constant
+        #: for the lifetime of a dispatched group).
+        self.csr_cache: dict[int, np.ndarray] = {}
         #: the group this warp is working on (machine bookkeeping).
         self.group_key: object = None
+        #: issue sequence number (incremented by Core.tick per issue);
+        #: used to validate the LSU replay memo below.
+        self._iseq = 0
+        #: memoized address/line computation for a load being replayed:
+        #: (iseq, pc, active_addrs, lanes, items). Valid only when the
+        #: very next issue of this warp is the same load at the same pc.
+        self._lsu_replay: tuple | None = None
+        #: per-lane bit weights for tmask <-> integer conversions.
+        self._lane_bits = 1 << np.arange(num_threads, dtype=np.int64)
 
     def reset_for_group(self, pc: int, tmask: np.ndarray, csrs: dict[int, int],
                         sp_values: np.ndarray) -> None:
@@ -62,17 +83,22 @@ class Warp:
         self.x[2] = sp_values  # stack pointers, one per lane
         self.pc = pc
         self.tmask = tmask.copy()
+        self._full = bool(tmask.all())
         self.active = True
         self.at_barrier = False
         self.ready_at = 0
-        self.x_ready.fill(0)
-        self.f_ready.fill(0)
+        self.x_ready = [0] * 32
+        self.f_ready = [0] * 32
         self.ipdom.clear()
         self.csrs = dict(csrs)
+        self.csr_cache = {}
+        self._iseq = 0
+        self._lsu_replay = None
 
     def halt(self) -> None:
         self.active = False
         self.at_barrier = False
+        self.ready_at = BLOCKED
 
     # -- divergence stack -------------------------------------------------
 
@@ -103,9 +129,8 @@ class Warp:
         return int(lanes[0])
 
     def tmask_bits(self) -> int:
-        return int(sum(1 << int(i) for i in np.nonzero(self.tmask)[0]))
+        return int(self._lane_bits[self.tmask].sum())
 
     def set_tmask_bits(self, bits: int) -> None:
-        self.tmask = np.array(
-            [(bits >> i) & 1 == 1 for i in range(self.num_threads)], dtype=bool
-        )
+        self.tmask = (bits & self._lane_bits) != 0
+        self._full = bool(self.tmask.all())

@@ -143,7 +143,7 @@ class TestCache:
         c = Cache(size=256, ways=2, line_size=64)  # 2 sets x 2 ways
         c.fill(0)
         c.fill(0)
-        assert (c.tags[0] == 0).sum() == 1
+        assert c.tags[0].count(0) == 1
         c.fill(128)  # second distinct line fits in the same set
         assert c.lookup(0)
         assert c.lookup(128)
@@ -364,7 +364,8 @@ class TestWarpStateDump:
         w1.ready_at = BLOCKED
         w2.active = True
         w2.ready_at = 50
-        w3.active = True  # ready_at 0 <= now: can issue
+        w3.active = True
+        w3.ready_at = 0  # <= now: can issue (BLOCKED while inactive)
         lines = machine.describe_warp_states(now=10).splitlines()
         assert len(lines) == 4
         assert "core 0 warp 0: pc=0x0080 mask=0x3 group=7" in lines[0]

@@ -169,3 +169,102 @@ def test_time_ms_linear_in_clock():
     assert result.time_ms(100.0) * 100.0 == pytest.approx(
         result.time_ms(333.0) * 333.0)
     assert result.time_ms(200.0) == pytest.approx(123_456 / (200.0 * 1e3))
+
+
+# -- skipped-cycle ranges (fast-forward) -------------------------------------
+#
+# The machine's main loop does not visit every cycle: known busy windows
+# and all-idle waits are booked in bulk and the clock jumps over them.
+# The counter identities must be *lossless* under that regime — per-core
+# accounting still covers the whole clock, and the profiler's
+# cycle-bucket sampler still sums to the final totals even when entire
+# buckets were jumped.
+
+import os
+
+from repro.profiling import Profiler
+from repro.vortex.simx.machine import NO_FASTFORWARD_ENV
+
+
+def _launch_ff(kernel, local, fast_forward, profiler=None):
+    captured = {}
+    backend = VortexBackend(
+        CONFIG, profiler=profiler,
+        launch_hook=lambda m, r: captured.update(machine=m, result=r))
+    old = os.environ.get(NO_FASTFORWARD_ENV)
+    os.environ[NO_FASTFORWARD_ENV] = "0" if fast_forward else "1"
+    try:
+        ctx = Context(backend)
+        prog = ctx.program([kernel])
+        args = [ctx.buffer(np.arange(64, dtype=np.int32))
+                for _ in kernel.params]
+        prog.launch(kernel.name, args, 64, local)
+    finally:
+        if old is None:
+            del os.environ[NO_FASTFORWARD_ENV]
+        else:
+            os.environ[NO_FASTFORWARD_ENV] = old
+    return captured["machine"], captured["result"]
+
+
+@pytest.mark.parametrize("fast_forward", [True, False])
+@pytest.mark.parametrize("name", sorted(_KERNELS))
+def test_every_cycle_booked_even_when_skipped(name, fast_forward):
+    build, local = _KERNELS[name]
+    _, result = _launch_ff(build(), local, fast_forward)
+    # bulk-booked windows keep the per-core identity exact: every cycle
+    # of the machine clock is either active or idle on every core
+    for s in result.core_stats:
+        assert s.cycles_active + s.idle_cycles == result.cycles
+        # stall classifications are a partition of idle time
+        assert s.lsu_stalls + s.scoreboard_stalls <= s.idle_cycles
+    if not fast_forward:
+        for key in ("ff_windows", "ff_cycles", "idle_jumps",
+                    "idle_skipped_cycles"):
+            assert result.extra[key] == 0
+
+
+def test_sampler_sums_are_lossless_under_fast_forward():
+    build, local = _KERNELS["streaming"]
+    prof = Profiler(cycle_bucket=32)
+    machine, result = _launch_ff(build(), local, True, profiler=prof)
+    skipped = result.extra["ff_cycles"] + result.extra["idle_skipped_cycles"]
+    assert skipped > 0, "kernel never fast-forwarded; test is vacuous"
+
+    per_core: dict[int, dict[str, float]] = {}
+    skip_total = 0.0
+    for ev in prof.events:
+        if ev.ph != "C":
+            continue
+        if ev.name == "skipped cycles":
+            skip_total += ev.args["cycles"]
+        elif "issue/stall/idle" in ev.name:
+            cid = int(ev.name.split()[0][len("core"):])
+            acc = per_core.setdefault(
+                cid, {"issue": 0.0, "lsu_stall": 0.0,
+                      "scoreboard_stall": 0.0, "idle": 0.0})
+            for k, v in ev.args.items():
+                acc[k] += v
+
+    # the skipped-cycles track surfaces exactly the jumped ranges
+    assert skip_total == skipped
+    # per-core bucket deltas sum to the final counters: nothing is lost
+    # when the clock jumps across bucket boundaries
+    for core, s in zip(machine.cores, result.core_stats):
+        acc = per_core[core.cid]
+        assert acc["issue"] == s.instructions
+        assert acc["lsu_stall"] == s.lsu_stalls
+        assert acc["scoreboard_stall"] == s.scoreboard_stalls
+        assert acc["idle"] == s.idle_cycles - s.lsu_stalls \
+            - s.scoreboard_stalls
+
+
+def test_sampler_buckets_respect_noncontiguous_timestamps():
+    """Sample timestamps must be monotonic and land at visited cycles
+    even when whole buckets were jumped (edge-triggered sampling)."""
+    build, local = _KERNELS["streaming"]
+    prof = Profiler(cycle_bucket=16)
+    _, result = _launch_ff(build(), local, True, profiler=prof)
+    ts = [ev.ts for ev in prof.events if ev.ph == "C"]
+    assert ts == sorted(ts)
+    assert all(0 <= t <= result.cycles for t in ts)
