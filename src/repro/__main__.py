@@ -12,12 +12,23 @@ Usage::
     # unified profiling of one benchmark on one executor:
     python -m repro profile vecadd --backend simx
     python -m repro profile bfs --backend hls --trace-out bfs.trace.json
+
+    # experiment service (crash-safe job queue over the engine):
+    python -m repro serve --state-dir .repro-service --jobs 4
+    python -m repro submit '{"kind": "fig7-cell", "benchmark": "vecadd",
+                             "warps": 4, "threads": 4}' --wait
+    python -m repro status            # daemon health
+    python -m repro results j000001-ab12cd34ef
+    python -m repro drain             # finish queued work, then exit
+    python -m repro serve --resume    # pick up after a crash
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import signal
 import sys
 
 
@@ -195,6 +206,128 @@ def _profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve(args: argparse.Namespace) -> int:
+    from .errors import ServiceError
+    from .service import ExperimentDaemon, resolve_state_dir
+
+    daemon = ExperimentDaemon(
+        state_dir=resolve_state_dir(args.state_dir),
+        jobs=args.jobs, host=args.host, port=args.port,
+        max_queue=args.max_queue, per_client=args.per_client,
+        batch_max=args.batch_max, resume=args.resume,
+        retries=args.retries, point_timeout=args.point_timeout)
+    try:
+        daemon.start()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    host, port = daemon.address
+    print(f"experiment daemon pid {os.getpid()} serving {host}:{port} "
+          f"(state: {daemon.state_dir})", flush=True)
+    return daemon.serve()
+
+
+def _parse_job_specs(specs: list[str]) -> list[dict]:
+    jobs = []
+    for spec in specs:
+        try:
+            jobs.append(json.loads(spec))
+        except ValueError:
+            raise SystemExit(
+                f"job spec is not valid JSON: {spec!r} "
+                f'(want e.g. \'{{"kind": "probe", "value": 1}}\')')
+    return jobs
+
+
+def _client(args: argparse.Namespace):
+    from .service import ServiceClient
+
+    return ServiceClient(state_dir=args.state_dir,
+                         retries=args.service_retries)
+
+
+def _print_reply(reply: dict) -> None:
+    print(json.dumps(reply, indent=2, sort_keys=True))
+
+
+def _submit(args: argparse.Namespace) -> int:
+    from .errors import ServiceError
+
+    client = _client(args)
+    jobs = _parse_job_specs(args.job)
+    replies = []
+    for job in jobs:
+        try:
+            replies.append(client.submit(job))
+        except ServiceError as exc:
+            print(f"error ({exc.code}): {exc}", file=sys.stderr)
+            return 1
+    if not args.wait:
+        for reply in replies:
+            note = " (coalesced)" if reply.get("coalesced") else ""
+            print(f"{reply['job_id']} {reply['state']}{note}")
+        return 0
+    failed = 0
+    for reply in replies:
+        try:
+            result = client.wait(reply["job_id"], timeout=args.timeout)
+        except ServiceError as exc:
+            print(f"error ({exc.code}): {exc}", file=sys.stderr)
+            return 1
+        _print_reply(result)
+        if result.get("state") == "failed":
+            failed += 1
+    return 1 if failed else 0
+
+
+def _status(args: argparse.Namespace) -> int:
+    from .errors import ServiceError
+
+    client = _client(args)
+    try:
+        _print_reply(client.status(args.job_id or None))
+    except ServiceError as exc:
+        print(f"error ({exc.code}): {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _results(args: argparse.Namespace) -> int:
+    from .errors import ServiceError
+
+    client = _client(args)
+    failed = 0
+    for job_id in args.job_id:
+        try:
+            if args.wait:
+                reply = client.wait(job_id, timeout=args.timeout)
+            else:
+                reply = client.results(job_id)
+        except ServiceError as exc:
+            print(f"error ({exc.code}): {exc}", file=sys.stderr)
+            return 1
+        _print_reply(reply)
+        if reply.get("state") == "failed":
+            failed += 1
+    return 1 if failed else 0
+
+
+def _drain(args: argparse.Namespace) -> int:
+    from .errors import ServiceError
+
+    client = _client(args)
+    try:
+        reply = client.drain()
+        print(f"draining: {reply.get('queued', 0)} job(s) queued")
+        if args.wait:
+            client.wait_gone(timeout=args.timeout)
+            print("daemon exited")
+    except ServiceError as exc:
+        print(f"error ({exc.code}): {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 _ARTIFACTS = {
     "table1": _table1,
     "table2": _table2,
@@ -301,25 +434,140 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-validate", action="store_true",
                    help="skip output validation against the numpy reference")
     p.set_defaults(func=_profile)
+
+    service_flags = argparse.ArgumentParser(add_help=False)
+    service_flags.add_argument(
+        "--state-dir", default="", metavar="PATH",
+        help="service state directory: journal, result cache, daemon "
+             "address (default $REPRO_SERVICE_DIR or ./.repro-service)")
+
+    p = sub.add_parser(
+        "serve",
+        parents=[service_flags],
+        help="run the experiment-service daemon: a crash-safe job "
+             "queue over the engine (journalled, resumable, bounded)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0,
+                   help="bind port (default 0 = ephemeral; clients "
+                        "discover it via the state dir's daemon.json)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="engine worker processes (default 1 = inline; "
+                        "0 = one per CPU)")
+    p.add_argument("--resume", action="store_true",
+                   help="replay the write-ahead journal and re-queue "
+                        "every job without a durable result (use after "
+                        "a crash or kill)")
+    p.add_argument("--max-queue", type=int, default=256, metavar="N",
+                   help="admission bound on queued jobs; beyond it "
+                        "submissions get queue-full + retry_after "
+                        "(default 256)")
+    p.add_argument("--per-client", type=int, default=32, metavar="N",
+                   help="in-flight job cap per client id (default 32)")
+    p.add_argument("--batch-max", type=int, default=16, metavar="N",
+                   help="jobs per engine campaign (default 16)")
+    p.add_argument("--retries", type=int, default=1, metavar="N",
+                   help="engine retries per failed point (default 1)")
+    p.add_argument("--point-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-point watchdog for service jobs")
+    p.set_defaults(func=_serve)
+
+    client_flags = argparse.ArgumentParser(
+        add_help=False, parents=[service_flags])
+    client_flags.add_argument(
+        "--service-retries", type=int, default=5, metavar="N",
+        help="client-side retry budget for transient/backpressure "
+             "errors, with jittered exponential backoff (default 5)")
+
+    p = sub.add_parser(
+        "submit",
+        parents=[client_flags],
+        help="submit job spec(s) to the daemon; identical work "
+             "deduplicates against the shared result cache",
+    )
+    p.add_argument("job", nargs="+", metavar="JSON",
+                   help='job spec, e.g. \'{"kind": "fig7-cell", '
+                        '"benchmark": "vecadd", "warps": 4, '
+                        '"threads": 4}\'')
+    p.add_argument("--wait", action="store_true",
+                   help="block until each job finishes and print its "
+                        "result (exit 1 if any failed)")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="--wait deadline in seconds (default 600)")
+    p.set_defaults(func=_submit)
+
+    p = sub.add_parser("status", parents=[client_flags],
+                       help="one job's state, or (with no job id) the "
+                            "daemon's health/stats payload")
+    p.add_argument("job_id", nargs="?", default="")
+    p.set_defaults(func=_status)
+
+    p = sub.add_parser("results", parents=[client_flags],
+                       help="fetch finished job result(s) as JSON")
+    p.add_argument("job_id", nargs="+")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until each job finishes first")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="--wait deadline in seconds (default 600)")
+    p.set_defaults(func=_results)
+
+    p = sub.add_parser("drain", parents=[client_flags],
+                       help="ask the daemon to finish all queued jobs "
+                            "and exit")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the daemon is gone")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="--wait deadline in seconds (default 600)")
+    p.set_defaults(func=_drain)
     return parser
+
+
+def _install_terminate_handler():
+    """Route SIGTERM through KeyboardInterrupt so ``kill`` gets the
+    same orderly unwind as Ctrl-C (``serve`` installs its own graceful
+    handlers on top while the daemon runs). Returns the previous
+    handler, or None when not on the main thread (tests import us)."""
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        return signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:
+        return None
 
 
 def main(argv: list[str] | None = None) -> int:
     from .errors import ExperimentAborted
 
     args = _build_parser().parse_args(argv)
-    if args.command == "all":
-        for name in ("table1", "table2", "table3", "table4", "fig7"):
-            print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
-            _ARTIFACTS[name](None)
-        return 0
+    previous_sigterm = _install_terminate_handler()
     try:
+        if args.command == "all":
+            for name in ("table1", "table2", "table3", "table4", "fig7"):
+                print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+                _ARTIFACTS[name](None)
+            return 0
         return args.func(args)
     except ExperimentAborted as exc:
         print(f"error: {exc}", file=sys.stderr)
         if exc.failure.traceback:
             print(exc.failure.traceback, file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # orderly interrupt: tear down any live worker pools (their
+        # caches have already committed finished points, so a re-run
+        # resumes), say so once on stderr, exit 130 with no traceback.
+        from .harness import close_all_engines
+
+        closed = close_all_engines()
+        note = f" ({closed} worker pool(s) closed)" if closed else ""
+        print(f"interrupted{note}", file=sys.stderr)
+        return 130
+    finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
 
 
 if __name__ == "__main__":

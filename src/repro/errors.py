@@ -134,6 +134,54 @@ class PointFailure:
                    attempts=payload.get("attempts", 1))
 
 
+class ServiceError(ReproError):
+    """An experiment-service request failed.
+
+    Every service failure carries a stable machine-readable ``code``
+    (the wire-protocol ``code`` field), so clients and tests branch on
+    codes, never on message strings. Subclasses pin well-known codes;
+    the base class carries any other code verbatim (e.g.
+    ``"bad-request"``, ``"shutting-down"``, ``"unavailable"``,
+    ``"internal"``).
+
+    Attributes
+    ----------
+    code:
+        Stable machine-readable failure category.
+    retry_after:
+        Server-suggested seconds to wait before retrying (set on
+        backpressure rejections), or ``None``.
+    """
+
+    code: str = "service-error"
+
+    def __init__(self, message: str, *, code: str | None = None,
+                 retry_after: float | None = None):
+        if code is not None:
+            self.code = code
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class QueueFull(ServiceError):
+    """The daemon's admission queue (or a per-client in-flight limit)
+    is at capacity; retry after ``retry_after`` seconds.
+
+    ``code`` distinguishes the two bounds: ``"queue-full"`` (global
+    queue depth) vs ``"client-limit"`` (this client's in-flight cap).
+    """
+
+    code = "queue-full"
+
+
+class JobNotFound(ServiceError):
+    """No job with the requested id is known to the daemon (never
+    submitted, or evicted after completion — results live on in the
+    result cache, keyed by content)."""
+
+    code = "job-not-found"
+
+
 class ExperimentAborted(ReproError):
     """A point failed under the engine's fail-fast policy.
 

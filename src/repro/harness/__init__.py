@@ -25,7 +25,12 @@ from .case_study import (
 from ..errors import ExperimentAborted, PointFailure
 from .coverage import PAPER_TABLE1, CoverageReport, run_coverage
 from .dse import Candidate, DSEResult, explore_design_space
-from .engine import EngineStats, ExperimentEngine, resolve_jobs
+from .engine import (
+    EngineStats,
+    ExperimentEngine,
+    close_all_engines,
+    resolve_jobs,
+)
 from .faults import (
     FAULT_PLAN_ENV,
     FAULT_STATE_ENV,
@@ -62,6 +67,7 @@ __all__ = [
     "GoldenReport",
     "PointFailure",
     "ResultCache",
+    "close_all_engines",
     "corrupt_cache_entry",
     "maybe_fault",
     "parse_plan",

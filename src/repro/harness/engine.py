@@ -71,6 +71,7 @@ from __future__ import annotations
 import os
 import time
 import traceback as _tb
+import weakref
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -83,7 +84,29 @@ from ..profiling import Profiler, ensure_profiler
 from .faults import FAULT_PLAN_ENV
 from .result_cache import MISS, ResultCache
 
-__all__ = ["EngineStats", "ExperimentEngine", "resolve_jobs"]
+__all__ = ["EngineStats", "ExperimentEngine", "close_all_engines",
+           "resolve_jobs"]
+
+#: every constructed engine, tracked weakly so interrupt handlers
+#: (``python -m repro`` on SIGINT/SIGTERM) can tear down worker pools
+#: instead of leaking orphaned worker processes.
+_LIVE_ENGINES: "weakref.WeakSet[ExperimentEngine]" = weakref.WeakSet()
+
+
+def close_all_engines() -> int:
+    """Terminate the worker pools of every live engine (signal cleanup).
+
+    Uses the pool-teardown path (which *terminates* worker processes)
+    rather than a graceful ``shutdown(wait=True)``, because the caller
+    is an interrupt handler: a stuck point must not block process exit.
+    Returns the number of pools torn down.
+    """
+    closed = 0
+    for engine in list(_LIVE_ENGINES):
+        if engine._pool is not None:
+            engine._respawn_pool()
+            closed += 1
+    return closed
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -153,6 +176,8 @@ class _Point:
     attempts: int = 0
     #: True once the point was finalised as a PointFailure.
     failed: bool = False
+    #: True once the run's ``on_result`` hook saw this point.
+    notified: bool = False
 
 
 _OK, _ERR = "ok", "err"
@@ -262,6 +287,7 @@ class ExperimentEngine:
             cache_dir=str(cache.root) if cache is not None else "",
         )
         self._pool: ProcessPoolExecutor | None = None
+        _LIVE_ENGINES.add(self)
 
     # -- worker-pool lifecycle --------------------------------------------
 
@@ -328,6 +354,7 @@ class ExperimentEngine:
         encode: Callable[[Any], Any] | None = None,
         decode: Callable[[Any], Any] | None = None,
         label: str = "experiment",
+        on_result: Callable[[int, Any], None] | None = None,
     ) -> list[Any]:
         """Evaluate ``fn(*point)`` for every point, in input order.
 
@@ -336,6 +363,14 @@ class ExperimentEngine:
         that point. ``encode``/``decode`` convert between the point
         result and its JSON-serialisable cached form (identity by
         default, for results that are already plain JSON values).
+
+        ``on_result(index, value)`` streams results back as they
+        finalise — called exactly once per point (cache hits
+        immediately, executed points the moment they complete and are
+        committed, exhausted failures with their
+        :class:`~repro.errors.PointFailure`), in *completion* order,
+        from the calling thread. The experiment-service daemon uses it
+        to mark jobs done incrementally instead of at batch barriers.
 
         Under ``keep_going`` a returned element may be a
         :class:`~repro.errors.PointFailure`; otherwise the first
@@ -355,6 +390,12 @@ class ExperimentEngine:
         ]
         self.stats.points += len(work)
 
+        def notify(point: _Point) -> None:
+            """Stream a finalised point to ``on_result`` exactly once."""
+            if on_result is not None and not point.notified:
+                point.notified = True
+                on_result(point.index, point.value)
+
         pending: list[_Point] = []
         for point in work:
             value = MISS
@@ -365,6 +406,7 @@ class ExperimentEngine:
             else:
                 point.value = value if decode is None else decode(value)
                 point.cached = True
+                notify(point)
         self.stats.cache_hits += len(work) - len(pending)
         if prof.enabled:
             prof.count(f"engine.{label}.points", len(work))
@@ -374,13 +416,15 @@ class ExperimentEngine:
         def commit(point: _Point) -> None:
             """Incremental cache commit: store a completed point the
             moment it finishes, so an interrupted run resumes from the
-            last completed point. Failures are never cached."""
-            if (self.cache is None or point.key is None or point.failed):
-                return
-            stored = (point.value if encode is None
-                      else encode(point.value))
-            self.cache.put(point.key, stored)
-            self.stats.cache_stores += 1
+            last completed point. Failures are never cached (but still
+            stream to ``on_result``)."""
+            if (self.cache is not None and point.key is not None
+                    and not point.failed):
+                stored = (point.value if encode is None
+                          else encode(point.value))
+                self.cache.put(point.key, stored)
+                self.stats.cache_stores += 1
+            notify(point)
 
         failed_before = self.stats.failed
         try:
@@ -535,6 +579,8 @@ class ExperimentEngine:
                         commit(point)
                     else:
                         self._handle_error(point, value, waiting, label)
+                        if point.failed:
+                            commit(point)
                 if crashed:
                     # the pool died; every in-flight future was lost.
                     crashed.extend(inflight.values())
@@ -545,6 +591,8 @@ class ExperimentEngine:
                         # ran solo: this point killed the worker.
                         self._handle_error(crashed[0], _crash_payload(),
                                            solo, label)
+                        if crashed[0].failed:
+                            commit(crashed[0])
                     else:
                         # ambiguous: re-run each suspect solo, uncharged.
                         for point in crashed:
@@ -563,6 +611,8 @@ class ExperimentEngine:
                                 point,
                                 _timeout_payload(self.point_timeout),
                                 waiting, label)
+                            if point.failed:
+                                commit(point)
                         # watchdog cancellation: a stuck worker cannot
                         # be interrupted in-band — tear the pool down
                         # (terminating its processes) and reschedule

@@ -26,6 +26,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any
 
@@ -96,14 +97,35 @@ class ResultCache:
         Code fingerprint mixed into every key; defaults to
         :func:`code_fingerprint`. Tests override it to simulate source
         changes.
+    durable:
+        ``True`` fsyncs every entry to disk before the atomic rename —
+        a ``kill -9`` can then never lose a committed entry (the
+        experiment-service daemon turns this on; the default ``False``
+        keeps batch runs fast and still crash-*consistent*, just not
+        crash-*durable* for the very last writes).
+
+    A crashed writer (``kill -9`` between ``mkstemp`` and
+    ``os.replace``) leaves an orphaned ``*.tmp`` file behind;
+    :meth:`vacuum` garbage-collects those, and construction sweeps any
+    orphan older than :data:`TMP_GC_AGE_S` (old enough that no live
+    writer can still own it).
     """
 
-    def __init__(self, root: str | Path, fingerprint: str | None = None):
+    #: age (seconds) past which an orphaned ``*.tmp`` is fair game for
+    #: the constructor's sweep — generous, so a slow concurrent writer
+    #: mid-``put`` is never robbed of its temp file.
+    TMP_GC_AGE_S = 3600.0
+
+    def __init__(self, root: str | Path, fingerprint: str | None = None,
+                 durable: bool = False):
         self.root = Path(root)
         self.fingerprint = (code_fingerprint() if fingerprint is None
                             else fingerprint)
+        self.durable = durable
         self.hits = 0
         self.misses = 0
+        if self.root.is_dir():
+            self.vacuum(self.TMP_GC_AGE_S)
 
     # -- keys --------------------------------------------------------------
 
@@ -138,21 +160,37 @@ class ResultCache:
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Atomically store a JSON-serialisable ``value`` under ``key``."""
+        """Atomically store a JSON-serialisable ``value`` under ``key``.
+
+        The temp file is unlinked on *every* path that does not commit
+        it (encoding error, full disk, interrupt), so failed writes can
+        never accumulate orphans — only a hard process kill can, and
+        :meth:`vacuum` reaps those.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         encoded = json.dumps(value)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        committed = False
         try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(encoded)
-            os.replace(tmp, path)
-        except BaseException:
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                fh = os.fdopen(fd, "w")
+            except BaseException:
+                os.close(fd)
+                raise
+            with fh:
+                fh.write(encoded)
+                if self.durable:
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            os.replace(tmp, path)
+            committed = True
+        finally:
+            if not committed:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -167,3 +205,24 @@ class ResultCache:
                 entry.unlink()
             except OSError:
                 pass
+
+    def vacuum(self, max_age_s: float = 0.0) -> int:
+        """Reap orphaned ``*.tmp`` files left by crashed writers.
+
+        Only temp files whose mtime is at least ``max_age_s`` seconds
+        old are removed (``0`` reaps everything — safe when the caller
+        knows no writer is live, e.g. the service daemon at startup).
+        Returns the number of files removed.
+        """
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        now = time.time()
+        for tmp in self.root.glob("*/*.tmp"):
+            try:
+                if now - tmp.stat().st_mtime >= max_age_s:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed

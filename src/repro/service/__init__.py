@@ -1,0 +1,38 @@
+"""Hardened experiment service: a crash-safe job queue over the engine.
+
+``python -m repro serve`` runs :class:`ExperimentDaemon`;
+``python -m repro submit/status/results/drain`` talk to it through
+:class:`ServiceClient`. See :mod:`repro.service.daemon` for the
+robustness design (admission control, write-ahead journal, graceful
+shutdown) and :mod:`repro.service.protocol` for the wire format.
+"""
+
+from .client import ServiceClient, resolve_state_dir
+from .daemon import ExperimentDaemon
+from .jobs import JOB_KINDS, execute_job, job_key, validate_job
+from .journal import Journal
+from .protocol import (
+    CODES,
+    DAEMON_INFO_NAME,
+    DEFAULT_STATE_DIR,
+    OPS,
+    SERVICE_DIR_ENV,
+    ProtocolError,
+)
+
+__all__ = [
+    "CODES",
+    "DAEMON_INFO_NAME",
+    "DEFAULT_STATE_DIR",
+    "ExperimentDaemon",
+    "JOB_KINDS",
+    "Journal",
+    "OPS",
+    "ProtocolError",
+    "SERVICE_DIR_ENV",
+    "ServiceClient",
+    "execute_job",
+    "job_key",
+    "resolve_state_dir",
+    "validate_job",
+]

@@ -1,0 +1,176 @@
+"""Job kinds the experiment service executes, and their validation.
+
+A *job* is one experiment point expressed as a plain JSON object, so it
+can cross the wire, live in the write-ahead journal, and be handed to
+the engine's worker pool. Validation is strict and typed: unknown
+kinds, unknown fields, wrong types, and out-of-range values are all
+rejected at admission with a ``bad-request`` reply — a malformed spec
+must never reach (let alone crash) a worker.
+
+Kinds
+-----
+
+``fig7-cell``
+    One cell of the paper's Figure 7 warp/thread sweep: ``benchmark``
+    (vecadd or transpose), ``warps``, ``threads``, plus optional
+    ``cores`` and ``n``. The content key is **identical** to the one
+    :func:`repro.harness.sweep.run_sweep` uses, so service results,
+    batch-CLI results, and resumed campaigns all deduplicate against
+    the same :class:`~repro.harness.result_cache.ResultCache` entries.
+
+``probe``
+    A synthetic point for smoke/chaos testing the service itself:
+    echoes ``value`` after an optional ``sleep_s``, or raises when
+    ``boom`` is set. ``nonce`` forces distinct content keys for
+    otherwise identical probes.
+
+:func:`execute_job` is the single module-level (spawn-picklable)
+dispatch the engine fans across workers, so the daemon batches *mixed*
+kinds into one worker-pool campaign.
+"""
+
+from __future__ import annotations
+
+import numbers
+import time
+from typing import Any
+
+from ..errors import ServiceError
+
+__all__ = ["JOB_KINDS", "execute_job", "job_key", "validate_job"]
+
+#: admission bounds for fig7-cell geometry/problem size — generous
+#: enough for any sweep the harness can run, tight enough that a typo
+#: (warps=80000) cannot wedge a worker for hours.
+MAX_GEOMETRY = 64
+MIN_N, MAX_N = 16, 1 << 20
+
+#: longest sleep a probe may request (probes exist to *test* the
+#: service; an unbounded sleep would be a self-inflicted hang).
+MAX_PROBE_SLEEP_S = 600.0
+
+SWEEP_BENCHMARKS = ("vecadd", "transpose")
+
+JOB_KINDS = ("fig7-cell", "probe")
+
+
+def _bad(message: str) -> ServiceError:
+    return ServiceError(message, code="bad-request")
+
+
+def _require_int(spec: dict, field: str, lo: int, hi: int,
+                 default: int | None = None) -> int:
+    value = spec.get(field, default)
+    if value is None:
+        raise _bad(f"job field {field!r} is required")
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _bad(f"job field {field!r} must be an integer, "
+                   f"got {type(value).__name__}")
+    if not lo <= value <= hi:
+        raise _bad(f"job field {field!r} must be in [{lo}, {hi}], "
+                   f"got {value}")
+    return value
+
+
+def _check_fields(spec: dict, allowed: set[str]) -> None:
+    unknown = set(spec) - allowed - {"kind"}
+    if unknown:
+        raise _bad(f"unknown job field(s): {sorted(unknown)} "
+                   f"(allowed: {sorted(allowed)})")
+
+
+def validate_job(spec: Any) -> dict:
+    """Validate and normalise one job spec (fill defaults, fix field
+    order), raising ``bad-request`` :class:`ServiceError` on any
+    malformed input. The returned dict is the canonical spec used for
+    keying, journalling, and execution."""
+    if not isinstance(spec, dict):
+        raise _bad("job must be a JSON object")
+    kind = spec.get("kind")
+    if kind not in JOB_KINDS:
+        raise _bad(f"unknown job kind {kind!r} "
+                   f"(choose from {list(JOB_KINDS)})")
+    if kind == "fig7-cell":
+        _check_fields(spec, {"benchmark", "warps", "threads", "cores",
+                             "n"})
+        benchmark = spec.get("benchmark")
+        if benchmark not in SWEEP_BENCHMARKS:
+            raise _bad(f"fig7-cell benchmark must be one of "
+                       f"{list(SWEEP_BENCHMARKS)}, got {benchmark!r}")
+        return {
+            "kind": "fig7-cell",
+            "benchmark": benchmark,
+            "warps": _require_int(spec, "warps", 1, MAX_GEOMETRY),
+            "threads": _require_int(spec, "threads", 1, MAX_GEOMETRY),
+            "cores": _require_int(spec, "cores", 1, MAX_GEOMETRY, 4),
+            "n": _require_int(spec, "n", MIN_N, MAX_N, 4096),
+        }
+    # probe
+    _check_fields(spec, {"value", "sleep_s", "boom", "nonce"})
+    value = spec.get("value", 0)
+    if not (value is None or isinstance(value, (str, bool))
+            or isinstance(value, numbers.Real)):
+        raise _bad("probe value must be a JSON scalar")
+    sleep_s = spec.get("sleep_s", 0.0)
+    if isinstance(sleep_s, bool) or not isinstance(
+            sleep_s, numbers.Real):
+        raise _bad("probe sleep_s must be a number")
+    sleep_s = float(sleep_s)
+    if not 0.0 <= sleep_s <= MAX_PROBE_SLEEP_S:
+        raise _bad(f"probe sleep_s must be in "
+                   f"[0, {MAX_PROBE_SLEEP_S:g}], got {sleep_s!r}")
+    boom = spec.get("boom", False)
+    if not isinstance(boom, bool):
+        raise _bad("probe boom must be a boolean")
+    nonce = spec.get("nonce", "")
+    if not isinstance(nonce, str):
+        raise _bad("probe nonce must be a string")
+    return {"kind": "probe", "value": value, "sleep_s": sleep_s,
+            "boom": boom, "nonce": nonce}
+
+
+def job_key(cache, spec: dict) -> str:
+    """The content-addressed cache key of a validated job spec.
+
+    ``fig7-cell`` keys reproduce :func:`~repro.harness.sweep.run_sweep`
+    exactly (same parts, same canonical :class:`VortexConfig`), which
+    is what lets the service dedupe against sweeps run by the batch
+    CLI — and vice versa.
+    """
+    if spec["kind"] == "fig7-cell":
+        from ..vortex import VortexConfig
+        from ..harness.sweep import SWEEP_SEED
+
+        config = VortexConfig().with_geometry(
+            cores=spec["cores"], warps=spec["warps"],
+            threads=spec["threads"])
+        return cache.key(kind="fig7-cell", benchmark=spec["benchmark"],
+                         config=config, n=spec["n"], seed=SWEEP_SEED)
+    return cache.key(**spec)
+
+
+def execute_job(spec: dict) -> dict:
+    """Run one validated job spec — the engine's unit of work.
+
+    Module-level and called with one plain-dict argument, so it is
+    picklable into spawned workers and a batch may mix job kinds.
+    Returns a JSON-serialisable result (the engine memoises it in the
+    result cache).
+    """
+    kind = spec["kind"]
+    if kind == "probe":
+        if spec["sleep_s"]:
+            time.sleep(spec["sleep_s"])
+        if spec["boom"]:
+            raise RuntimeError("probe boom requested")
+        return {"value": spec["value"]}
+    if kind == "fig7-cell":
+        from ..harness.sweep import sweep_point
+        from ..vortex import VortexConfig
+
+        config = VortexConfig().with_geometry(
+            cores=spec["cores"], warps=spec["warps"],
+            threads=spec["threads"])
+        return sweep_point(spec["benchmark"], config, spec["n"])
+    raise ServiceError(f"unexecutable job kind {kind!r}",
+                       code="internal")

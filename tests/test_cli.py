@@ -105,3 +105,83 @@ def test_profile_unknown_backend_rejected(capsys):
     with pytest.raises(SystemExit) as exc:
         main(["profile", "vecadd", "--backend", "cuda"])
     assert exc.value.code == 2
+
+
+# -- interrupt handling ------------------------------------------------------
+
+def test_keyboard_interrupt_exits_130(capsys, monkeypatch):
+    """Ctrl-C mid-campaign: orderly unwind, exit 130, no traceback."""
+    from repro import harness
+
+    def fake_run_coverage(**kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(harness, "run_coverage", fake_run_coverage)
+    assert main(["table1"]) == 130
+    err = capsys.readouterr().err
+    assert "interrupted" in err
+    assert "Traceback" not in err
+
+
+def test_interrupt_closes_live_engines(capsys, monkeypatch, tmp_path):
+    """The interrupt path tears down any worker pool still alive."""
+    from repro import harness
+    from repro.harness import ExperimentEngine
+
+    class FakePool:
+        _processes = {}
+
+        def shutdown(self, wait=True, cancel_futures=False):
+            self.down = True
+
+    engine = ExperimentEngine(jobs=2)
+    engine._pool = FakePool()  # a live pool without the spawn cost
+
+    def fake_run_coverage(**kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(harness, "run_coverage", fake_run_coverage)
+    assert main(["table1"]) == 130
+    assert "worker pool(s) closed" in capsys.readouterr().err
+    assert engine._pool is None
+
+
+def test_sigterm_is_routed_to_keyboard_interrupt(capsys, monkeypatch):
+    """kill <pid> gets the same orderly unwind as Ctrl-C."""
+    import os
+    import signal
+    import time
+
+    from repro import harness
+
+    def fake_run_coverage(**kwargs):
+        os.kill(os.getpid(), signal.SIGTERM)
+        time.sleep(5)  # the signal lands long before this expires
+        raise AssertionError("SIGTERM handler never fired")
+
+    monkeypatch.setattr(harness, "run_coverage", fake_run_coverage)
+    assert main(["table1"]) == 130
+    assert "interrupted" in capsys.readouterr().err
+
+
+def test_submit_rejects_malformed_json(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["submit", "{not json", "--state-dir",
+              "/nonexistent-service-dir"])
+    assert "not valid JSON" in str(exc.value)
+
+
+def test_client_commands_report_unavailable(capsys, tmp_path):
+    """Client subcommands fail fast with a typed message (not a
+    traceback) when no daemon serves the state dir."""
+    state = str(tmp_path / "no-daemon")
+    for argv in (["status", "--state-dir", state,
+                  "--service-retries", "0"],
+                 ["results", "j000001-aabbccddee", "--state-dir", state,
+                  "--service-retries", "0"],
+                 ["drain", "--state-dir", state,
+                  "--service-retries", "0"]):
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert "unavailable" in err
+        assert "Traceback" not in err

@@ -309,10 +309,15 @@ class TestEngineFailures:
 
     def test_timeout_then_retry_succeeds(self, tmp_path):
         marker = str(tmp_path / "marker")
+        # pre-claim the fast point's marker so only the slow point can
+        # win the claim race — the first attempt at point 1 then
+        # deterministically hangs and trips the watchdog.
+        fast_marker = str(tmp_path / "marker-fast")
+        _try_claim_marker(fast_marker)
         with ExperimentEngine(jobs=2, point_timeout=2.0, retries=1,
                               retry_backoff=0.0) as engine:
             results = engine.run(_sleep_once_then_return,
-                                 [(marker, 20.0, 1), (marker, 0.0, 2)])
+                                 [(marker, 20.0, 1), (fast_marker, 0.0, 2)])
         assert sorted(results) == [10, 20]
         assert engine.stats.failed == 0
         assert engine.stats.retried >= 1
