@@ -35,6 +35,12 @@ FIG7_BENCHES = (("vecadd", 32), ("transpose", 8))
 REPEATS = 3
 ALLOWED_REGRESSION = 0.30
 
+#: snapshot cadence for the enabled-path overhead measurement — small
+#: enough that a ~34k-cycle run writes several snapshots, so the
+#: recorded overhead includes capture+serialise+fsync, not just the
+#: boundary polling.
+CHECKPOINT_EVERY = 8_192
+
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_simx.json"
 
 
@@ -71,9 +77,78 @@ def _measure(bench: str, scale: int) -> dict:
     }
 
 
+def _measure_checkpointed(bench: str, scale: int, ckpt_dir) -> dict:
+    """Like :func:`_measure`, but with snapshotting enabled on every
+    launch — the *enabled-path* cost (the disabled path is what the
+    committed baseline gates; it must stay free)."""
+    from repro.vortex.simx.checkpoint import CheckpointPlan, CheckpointStore
+
+    store = CheckpointStore(ckpt_dir)
+    saves = 0
+    real_save = store.save
+
+    def counting_save(*args, **kwargs):
+        nonlocal saves
+        saves += 1
+        return real_save(*args, **kwargs)
+
+    store.save = counting_save
+    sim_wall = 0.0
+    original = Machine.launch
+
+    def timed(self, *args, **kwargs):
+        nonlocal sim_wall
+        start = time.perf_counter()
+        result = original(self, *args, **kwargs)
+        sim_wall += time.perf_counter() - start
+        return result
+
+    best = None
+    cycles = None
+    Machine.launch = timed
+    try:
+        for rep in range(REPEATS):
+            sim_wall = 0.0
+            saves = 0
+            plan = CheckpointPlan(store, f"bench-{bench}-r{rep}",
+                                  every_cycles=CHECKPOINT_EVERY)
+            result = run_benchmark(bench, VortexBackend(checkpoint=plan),
+                                   scale=scale)
+            assert result.ok, f"{bench} failed: {result.status}"
+            cycles = result.total_cycles
+            if best is None or sim_wall < best:
+                best = sim_wall
+    finally:
+        Machine.launch = original
+    return {
+        "cycles": cycles,
+        "sim_seconds": round(best, 4),
+        "cycles_per_sec": round(cycles / best),
+        "snapshot_every_cycles": CHECKPOINT_EVERY,
+        "snapshots_per_run": saves,
+    }
+
+
 @pytest.fixture(scope="module")
 def measurements():
     return {bench: _measure(bench, scale) for bench, scale in FIG7_BENCHES}
+
+
+@pytest.fixture(scope="module")
+def checkpoint_overhead(measurements, tmp_path_factory):
+    base = measurements["vecadd"]
+    ckpt = _measure_checkpointed("vecadd", base["scale"],
+                                 tmp_path_factory.mktemp("bench-ckpt"))
+    # checkpointing must be invisible to the simulation itself.
+    assert ckpt["cycles"] == base["cycles"], (
+        f"checkpointing changed simulated work: {ckpt['cycles']} vs "
+        f"{base['cycles']} cycles")
+    slowdown = (base["cycles_per_sec"] / ckpt["cycles_per_sec"]) - 1.0
+    ckpt["overhead_pct"] = round(max(0.0, slowdown) * 100, 1)
+    extra = max(0.0, ckpt["sim_seconds"] - base["sim_seconds"])
+    ckpt["ms_per_snapshot"] = round(
+        extra * 1000 / max(1, ckpt["snapshots_per_run"]), 1)
+    return ckpt
 
 
 def _aggregate(measured: dict) -> int:
@@ -105,11 +180,26 @@ def test_speed_vs_committed_baseline(measurements):
     assert agg >= floor * committed["aggregate_cycles_per_sec"]
 
 
-def test_writes_bench_json(measurements):
+def test_checkpoint_enabled_path_overhead(checkpoint_overhead):
+    """Snapshotting never changes simulated work (asserted in the
+    fixture) and a single snapshot stays cheap. The cadence here is
+    deliberately ~250x shorter than the production default (2M cycles),
+    so the *ratio* is dominated by snapshot count and not gated — the
+    per-snapshot wall cost is, with a loose sanity ceiling that still
+    catches an accidental uncompressed or quadratic capture."""
+    assert checkpoint_overhead["snapshots_per_run"] >= 2, (
+        "overhead measurement took too few snapshots to mean anything")
+    assert checkpoint_overhead["ms_per_snapshot"] <= 500.0, (
+        f"one snapshot costs {checkpoint_overhead['ms_per_snapshot']}ms "
+        f"of wall time — snapshot capture has regressed badly")
+
+
+def test_writes_bench_json(measurements, checkpoint_overhead):
     payload = {
         "schema": 1,
         "fig7_benchmarks": measurements,
         "aggregate_cycles_per_sec": _aggregate(measurements),
+        "checkpoint_enabled_path": checkpoint_overhead,
         "meta": {
             "python": sys.version.split()[0],
             "machine": platform.machine(),
@@ -122,3 +212,7 @@ def test_writes_bench_json(measurements):
     for bench, m in measurements.items():
         print(f"  {bench} (scale {m['scale']}): {m['cycles']:,} cycles "
               f"in {m['sim_seconds']}s = {m['cycles_per_sec']:,} cyc/s")
+    co = checkpoint_overhead
+    print(f"  checkpointed vecadd (every {co['snapshot_every_cycles']:,} "
+          f"cycles, {co['snapshots_per_run']} snapshots): "
+          f"{co['cycles_per_sec']:,} cyc/s ({co['overhead_pct']}% overhead)")

@@ -137,9 +137,14 @@ def _fig7(args: argparse.Namespace | None = None) -> int:
     with ExperimentEngine(jobs=_jobs(args), cache=_make_cache(args),
                           **_policy(args)) as engine:
         results = []
+        ckpt_dir = getattr(args, "checkpoint_dir", "") if args else ""
+        ckpt_every = (getattr(args, "checkpoint_every", None)
+                      if args else None)
         for benchmark in ("vecadd", "transpose"):
             result = run_sweep(benchmark, warp_sizes=warp_sizes,
-                               thread_sizes=thread_sizes, engine=engine)
+                               thread_sizes=thread_sizes, engine=engine,
+                               checkpoint_dir=ckpt_dir or None,
+                               checkpoint_every=ckpt_every)
             results.append(result)
             print(result.render())
             print()
@@ -215,7 +220,9 @@ def _serve(args: argparse.Namespace) -> int:
         jobs=args.jobs, host=args.host, port=args.port,
         max_queue=args.max_queue, per_client=args.per_client,
         batch_max=args.batch_max, resume=args.resume,
-        retries=args.retries, point_timeout=args.point_timeout)
+        retries=args.retries, point_timeout=args.point_timeout,
+        checkpoint_dir=args.checkpoint_dir or None,
+        checkpoint_every=args.checkpoint_every)
     try:
         daemon.start()
     except ServiceError as exc:
@@ -369,6 +376,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-point watchdog: a point running longer is cancelled "
              "(its stuck worker pool is torn down and respawned) and "
              "counts as failed/retried")
+    engine_flags.add_argument(
+        "--checkpoint-dir", default="", metavar="PATH",
+        help="snapshot running simulations under PATH so a preempted or "
+             "killed point resumes mid-flight instead of restarting "
+             "(fig7 only; with --point-timeout a point checkpoints out "
+             "before the watchdog would kill it)")
+    engine_flags.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="CYCLES",
+        help="snapshot cadence in simulated cycles "
+             "(default 2000000; implies nothing without "
+             "--checkpoint-dir)")
     policy = engine_flags.add_mutually_exclusive_group()
     policy.add_argument(
         "--keep-going", dest="keep_going", action="store_true",
@@ -472,6 +490,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--point-timeout", type=float, default=None,
                    metavar="SECONDS",
                    help="per-point watchdog for service jobs")
+    p.add_argument("--checkpoint-dir", default="", metavar="PATH",
+                   help="snapshot running fig7-cell simulations under "
+                        "PATH: a stop/kill mid-simulation is resumed "
+                        "mid-flight by serve --resume instead of "
+                        "re-running from cycle 0")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   metavar="CYCLES",
+                   help="snapshot cadence in simulated cycles "
+                        "(default 2000000)")
     p.set_defaults(func=_serve)
 
     client_flags = argparse.ArgumentParser(

@@ -98,6 +98,45 @@ class TrapError(SimulationError):
     """A simulated Vortex core executed an illegal/unaligned operation."""
 
 
+class CheckpointError(ReproError):
+    """A simulation snapshot could not be taken or used.
+
+    Raised when checkpointing is requested in an unsupported mode
+    (profiling/tracing) or when a snapshot fails its resume
+    verification — config/ndrange/program-fingerprint/memory-baseline
+    mismatch. A failed verification leaves the machine untouched, so
+    callers degrade to a clean from-scratch launch.
+    """
+
+
+class SimulationPreempted(Exception):
+    """Control-flow signal: the simulation wrote a snapshot and yielded
+    instead of completing (checkpoint deadline reached, the daemon's
+    stop file appeared, or a deterministic test hook fired).
+
+    Deliberately *not* a :class:`ReproError`: harness layers that catch
+    ``ReproError`` to mark a point as failed must never swallow a
+    preemption — the engine catches it by name and requeues the point
+    to resume from the snapshot, without charging a retry.
+
+    Attributes
+    ----------
+    point_id:
+        The launch id the snapshot was filed under.
+    cycle:
+        Simulated cycle the snapshot was taken at (monotonic progress
+        across preemptions of the same point is enforced by the engine).
+    """
+
+    def __init__(self, point_id: str, cycle: int):
+        self.point_id = point_id
+        self.cycle = int(cycle)
+        super().__init__(
+            f"simulation preempted at cycle {cycle} "
+            f"(snapshot {point_id!r} written)"
+        )
+
+
 @dataclass
 class PointFailure:
     """Structured capture of one failed experiment point.

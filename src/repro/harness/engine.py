@@ -69,6 +69,7 @@ is byte-identical whether ``jobs=1`` or ``jobs=8``.
 from __future__ import annotations
 
 import os
+import random
 import time
 import traceback as _tb
 import weakref
@@ -132,6 +133,9 @@ class EngineStats:
     failed: int = 0
     #: retry attempts made (each resubmission of a charged point).
     retried: int = 0
+    #: cooperative preemptions requeued for resume (never charged as
+    #: retries: the point snapshotted its progress and yielded).
+    preempted: int = 0
     wall_s: float = 0.0
     cache_dir: str = ""
 
@@ -143,6 +147,7 @@ class EngineStats:
         self.cache_stores += other.cache_stores
         self.failed += other.failed
         self.retried += other.retried
+        self.preempted += other.preempted
         self.wall_s += other.wall_s
         self.cache_dir = self.cache_dir or other.cache_dir
         return self
@@ -155,6 +160,7 @@ class EngineStats:
             f"{self.cache_hits} cache hits",
             f"failed={self.failed}",
             f"retried={self.retried}",
+            f"preempted={self.preempted}",
             f"jobs={self.jobs}",
             f"{self.wall_s:.1f}s",
         ]
@@ -178,17 +184,26 @@ class _Point:
     failed: bool = False
     #: True once the run's ``on_result`` hook saw this point.
     notified: bool = False
+    #: highest simulated cycle a preemption snapshot of this point
+    #: reported; a requeue is only free while this strictly advances.
+    last_preempt_cycle: int = -1
 
 
 _OK, _ERR = "ok", "err"
 
 
 def _failure_payload(exc: BaseException) -> dict:
-    return {
+    payload = {
         "exc_type": type(exc).__name__,
         "message": str(exc),
         "traceback": "".join(_tb.format_exception(exc)),
     }
+    # SimulationPreempted carries the snapshot cycle; the engine's
+    # requeue logic uses it as the forward-progress guarantee.
+    cycle = getattr(exc, "cycle", None)
+    if cycle is not None:
+        payload["cycle"] = int(cycle)
+    return payload
 
 
 def _timeout_payload(timeout: float) -> dict:
@@ -260,7 +275,9 @@ class ExperimentEngine:
         the first exhausted failure.
     retry_backoff:
         Base of the exponential backoff slept before retry attempt
-        ``k`` (``retry_backoff * 2**(k-2)`` seconds, capped at 2s).
+        ``k`` (``retry_backoff * 2**(k-2)`` seconds, jittered to
+        ``[0.5x, 1.5x)`` so parallel retries decorrelate, capped at
+        2s).
     """
 
     def __init__(self, jobs: int = 1, cache: ResultCache | None = None,
@@ -282,6 +299,13 @@ class ExperimentEngine:
         self.point_timeout = point_timeout
         self.keep_going = keep_going
         self.retry_backoff = retry_backoff
+        #: backoff jitter source; sleeps never influence results, so an
+        #: unseeded RNG does not threaten reproducibility.
+        self._backoff_rng = random.Random()
+        #: while True a SimulationPreempted point is requeued to resume
+        #: from its snapshot; a draining daemon flips this off so
+        #: preemptions finalise instead of looping.
+        self._preempt_requeue = True
         self.stats = EngineStats(
             jobs=self.jobs,
             cache_dir=str(cache.root) if cache is not None else "",
@@ -448,11 +472,37 @@ class ExperimentEngine:
 
     def _sleep_backoff(self, attempt: int) -> None:
         delay = self.retry_backoff * (2 ** (attempt - 2))
+        delay *= 0.5 + self._backoff_rng.random()  # jitter: [0.5x, 1.5x)
         if delay > 0:
             time.sleep(min(delay, 2.0))
 
+    def stop_preempting(self) -> None:
+        """Stop requeueing preempted points: from now on a
+        ``SimulationPreempted`` finalises as a failure. The daemon's
+        hard-stop path uses this so the stop file cannot turn shutdown
+        into an endless preempt/resume loop inside one batch."""
+        self._preempt_requeue = False
+
+    def _note_preempt(self, point: _Point, payload: dict) -> bool:
+        """True if ``payload`` is a forward-progress preemption and the
+        point should be resubmitted uncharged (attempt refunded)."""
+        if payload.get("exc_type") != "SimulationPreempted":
+            return False
+        cycle = payload.get("cycle")
+        if not (self._preempt_requeue and isinstance(cycle, int)
+                and cycle > point.last_preempt_cycle):
+            # no snapshot progress since the last preemption (or the
+            # engine is shutting down): finalise instead of looping.
+            return False
+        point.last_preempt_cycle = cycle
+        point.attempts -= 1  # cooperative yield, not a failure
+        self.stats.preempted += 1
+        return True
+
     def _finalize_failure(self, point: _Point, payload: dict,
                           label: str) -> None:
+        payload = dict(payload)
+        payload.pop("cycle", None)  # not a PointFailure field
         point.failed = True
         point.value = PointFailure(attempts=point.attempts, **payload)
         self.stats.failed += 1
@@ -462,7 +512,12 @@ class ExperimentEngine:
     def _handle_error(self, point: _Point, payload: dict,
                       retry_queue: deque, label: str) -> None:
         """Retry ``point`` (onto ``retry_queue``) if it has attempts
-        left, else finalise it as a failure."""
+        left, else finalise it as a failure. A forward-progress
+        preemption is requeued without charging an attempt — resuming
+        from a snapshot is scheduling, not failure recovery."""
+        if self._note_preempt(point, payload):
+            retry_queue.append(point)
+            return
         if point.attempts > self.retries:
             self._finalize_failure(point, payload, label)
         else:
@@ -487,11 +542,13 @@ class ExperimentEngine:
                         label: str) -> None:
         for point in pending:
             payload: dict | None = None
+            resumed = False
             while True:
                 point.attempts += 1
-                if point.attempts > 1:
+                if point.attempts > 1 and not resumed:
                     self.stats.retried += 1
                     self._sleep_backoff(point.attempts)
+                resumed = False
                 started = time.monotonic()
                 status, value = _call_point(fn, point.args, point.site)
                 elapsed = time.monotonic() - started
@@ -505,6 +562,12 @@ class ExperimentEngine:
                 # cancellation would.
                 payload = (value if status == _ERR
                            else _timeout_payload(self.point_timeout))
+                if self._note_preempt(point, payload):
+                    # re-run immediately: the next attempt resumes from
+                    # the snapshot the preemption just wrote, uncharged.
+                    payload = None
+                    resumed = True
+                    continue
                 if point.attempts > self.retries:
                     break
             if payload is not None:

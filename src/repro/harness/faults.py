@@ -46,6 +46,7 @@ __all__ = [
     "FaultInjected",
     "FaultSpec",
     "corrupt_cache_entry",
+    "corrupt_checkpoint",
     "maybe_fault",
     "parse_plan",
 ]
@@ -180,3 +181,25 @@ def corrupt_cache_entry(cache, key: str) -> None:
     path = cache._path(key)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text("{corrupt-cache-entry")
+
+
+def corrupt_checkpoint(store, point_id: str) -> None:
+    """Garble a simulation snapshot's payload in place.
+
+    The header (magic, version, fingerprint, payload digest) is kept
+    intact so the corruption is only detectable by the payload
+    checksum — exactly the torn-write case
+    :meth:`~repro.vortex.simx.checkpoint.CheckpointStore.load` must
+    catch, drop, and count, degrading the resume to a clean re-run.
+    """
+    path = store.path(point_id)
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    header_end = blob.index(b"\n") + 1
+    body = bytearray(blob[header_end:])
+    if not body:
+        body = bytearray(b"\x00")
+    body[len(body) // 2] ^= 0xFF
+    with open(path, "wb") as fh:
+        fh.write(blob[:header_end])
+        fh.write(bytes(body))

@@ -104,9 +104,11 @@ class SweepResult:
 
 
 def _launch_vecadd(config: VortexConfig, n: int,
-                   profiler: Profiler = NULL_PROFILER) -> "tuple[int, int]":
+                   profiler: Profiler = NULL_PROFILER,
+                   checkpoint=None) -> "tuple[int, int]":
     bench = get_benchmark("vecadd")
-    ctx = Context(VortexBackend(config, profiler=profiler))
+    ctx = Context(VortexBackend(config, profiler=profiler,
+                                checkpoint=checkpoint))
     prog = ctx.program(bench.build())
     rng = np.random.default_rng(SWEEP_SEED)
     a = ctx.buffer(rng.random(n, dtype=np.float32))
@@ -118,9 +120,11 @@ def _launch_vecadd(config: VortexConfig, n: int,
 
 
 def _launch_transpose(config: VortexConfig, dim: int,
-                      profiler: Profiler = NULL_PROFILER) -> "tuple[int, int]":
+                      profiler: Profiler = NULL_PROFILER,
+                      checkpoint=None) -> "tuple[int, int]":
     bench = get_benchmark("transpose")
-    ctx = Context(VortexBackend(config, profiler=profiler))
+    ctx = Context(VortexBackend(config, profiler=profiler,
+                                checkpoint=checkpoint))
     prog = ctx.program(bench.build())
     rng = np.random.default_rng(SWEEP_SEED)
     src = ctx.buffer(rng.random(dim * dim, dtype=np.float32))
@@ -134,7 +138,8 @@ def _launch_transpose(config: VortexConfig, dim: int,
 
 
 def sweep_point(benchmark: str, config: VortexConfig, n: int,
-                profile: bool = False) -> dict:
+                profile: bool = False, checkpoint: dict | None = None
+                ) -> dict:
     """One grid cell — the engine's (picklable, module-level) unit of work.
 
     Returns ``{"cycles", "lsu_stalls"}`` plus, when ``profile`` is set, a
@@ -142,14 +147,28 @@ def sweep_point(benchmark: str, config: VortexConfig, n: int,
     profiler private to this point (per-worker profiling: each parallel
     worker builds its own profiler and ships the report back, so the
     collected traces are identical to a serial run's).
+
+    ``checkpoint`` is the engine's picklable checkpoint spec (see
+    :meth:`~repro.vortex.simx.checkpoint.CheckpointPlan.from_spec`);
+    the point then snapshots/resumes mid-simulation and may raise
+    :class:`~repro.errors.SimulationPreempted` past its deadline. The
+    result payload is unaffected — cache keys and cached values stay
+    byte-identical to an uncheckpointed run. Profiled points ignore it
+    (sampler state is not snapshotted; profiled runs bypass the cache
+    anyway).
     """
     profiler = Profiler() if profile else NULL_PROFILER
+    plan = None
+    if checkpoint is not None and not profile:
+        from ..vortex.simx.checkpoint import CheckpointPlan
+        plan = CheckpointPlan.from_spec(checkpoint)
     if benchmark == "vecadd":
-        cycles, stalls = _launch_vecadd(config, n, profiler)
+        cycles, stalls = _launch_vecadd(config, n, profiler, plan)
     else:
         dim = int(round(n ** 0.5))
         dim -= dim % 16
-        cycles, stalls = _launch_transpose(config, max(dim, 16), profiler)
+        cycles, stalls = _launch_transpose(config, max(dim, 16), profiler,
+                                           plan)
     result = {"cycles": cycles, "lsu_stalls": stalls}
     if profile:
         result["report"] = profiler.report(
@@ -172,6 +191,8 @@ def run_sweep(
     retries: int = 0,
     point_timeout: float | None = None,
     keep_going: bool = False,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int | None = None,
 ) -> SweepResult:
     """Sweep one benchmark over the (warps, threads) grid.
 
@@ -192,6 +213,14 @@ def run_sweep(
     ``keep_going`` a cell whose point fails (after retries) lands in
     :attr:`SweepResult.failures` and renders as an ``ERROR(...)`` line
     instead of aborting the whole grid.
+
+    ``checkpoint_dir`` makes every (non-profiled) cell preemptible:
+    workers snapshot machine state every ``checkpoint_every`` simulated
+    cycles (default ``DEFAULT_EVERY_CYCLES``), retries resume from the
+    latest snapshot, and when ``point_timeout`` is also set each cell
+    yields a snapshot at 80% of the budget instead of waiting for the
+    watchdog kill (which stays armed as the hard fallback). Cache keys
+    and cached values are unchanged by checkpointing.
     """
     if benchmark not in ("vecadd", "transpose"):
         raise ValueError("the Figure 7 sweep covers vecadd and transpose")
@@ -208,12 +237,33 @@ def run_sweep(
                                   point_timeout=point_timeout,
                                   keep_going=keep_going)
 
+    checkpointing = checkpoint_dir is not None and not profile
+    deadline_s = None
+    if checkpointing:
+        from ..vortex.simx.checkpoint import CheckpointStore
+        # mkdir up front + sweep orphaned tmp files from crashed runs
+        # (the ResultCache.vacuum discipline, at engine startup).
+        CheckpointStore(str(checkpoint_dir), sweep_age_s=0.0)
+        budget = (point_timeout if owns_engine
+                  else getattr(engine, "point_timeout", None))
+        if budget:
+            deadline_s = budget * 0.8
+
     grid = [(w, t) for w in warp_sizes for t in thread_sizes]
     points = []
     keys: list[str | None] = []
     for w, t in grid:
         config = base.with_geometry(cores=cores, warps=w, threads=t)
-        points.append((benchmark, config, n, profile))
+        ckpt = None
+        if checkpointing:
+            ckpt = {
+                "dir": str(checkpoint_dir),
+                "point_id": (f"fig7-{benchmark}-c{cores}"
+                             f"-w{w}-t{t}-n{n}"),
+                "every": checkpoint_every,
+                "deadline_s": deadline_s,
+            }
+        points.append((benchmark, config, n, profile, ckpt))
         keys.append(
             None if engine.cache is None or profile
             else engine.cache.key(

@@ -144,6 +144,16 @@ class ExperimentDaemon:
         Replay the journal on startup, re-queueing unfinished jobs.
     retries / point_timeout:
         Engine fault-tolerance policy for service campaigns.
+    checkpoint_dir / checkpoint_every:
+        When ``checkpoint_dir`` is set, every ``fig7-cell`` simulation
+        snapshots its machine state there on a ``checkpoint_every``
+        cycle cadence (default
+        :data:`~repro.vortex.simx.checkpoint.DEFAULT_EVERY_CYCLES`) and
+        yields cooperatively before the engine watchdog would kill it.
+        A stop request drops a ``STOP`` file in the directory so
+        running simulations checkpoint out at the next poll; a later
+        ``serve --resume`` re-queues them and they resume mid-flight
+        from their snapshots.
     """
 
     def __init__(self, state_dir: str | Path, jobs: int = 1,
@@ -152,7 +162,9 @@ class ExperimentDaemon:
                  batch_max: int = 16, max_done: int = 4096,
                  resume: bool = False, retries: int = 1,
                  point_timeout: float | None = None,
-                 compact_every: int = 4096):
+                 compact_every: int = 4096,
+                 checkpoint_dir: str | Path | None = None,
+                 checkpoint_every: int | None = None):
         if max_queue < 1 or per_client < 1 or batch_max < 1:
             raise ValueError("max_queue, per_client and batch_max must "
                              "be >= 1")
@@ -166,6 +178,12 @@ class ExperimentDaemon:
         self.max_done = max_done
         self.resume = resume
         self.compact_every = compact_every
+        self.point_timeout = point_timeout
+        self.checkpoint_dir = (Path(checkpoint_dir)
+                               if checkpoint_dir is not None else None)
+        self.checkpoint_every = checkpoint_every
+        #: store handle for health reporting; built in :meth:`start`.
+        self._ckpt_store = None
 
         self.profiler = Profiler()
         self.cache = ResultCache(self.state_dir / "cache", durable=True)
@@ -215,6 +233,21 @@ class ExperimentDaemon:
         # startup is the one moment no cache writer can be live, so a
         # full zero-age vacuum of crashed writers' temp files is safe.
         self.cache.vacuum(0.0)
+        if self.checkpoint_dir is not None:
+            from ..vortex.simx.checkpoint import CheckpointStore
+
+            # Same reasoning as the cache vacuum: no snapshot writer is
+            # live yet, so sweep *all* orphaned snapshot temp files a
+            # kill -9 may have stranded mid-write.
+            self._ckpt_store = CheckpointStore(self.checkpoint_dir,
+                                               sweep_age_s=0.0)
+            try:
+                # a STOP file is a one-shot shutdown signal; a leftover
+                # from the previous daemon's death must not preempt the
+                # resumed run immediately.
+                self._stop_file_path().unlink()
+            except OSError:
+                pass
         if self.resume:
             self._recover()
         else:
@@ -266,7 +299,20 @@ class ExperimentDaemon:
     def request_stop(self) -> None:
         """Graceful shutdown: stop admitting, finish the in-flight
         batch (its points checkpoint incrementally), flush, exit.
-        Queued-but-unrun jobs stay journalled for ``--resume``."""
+        Queued-but-unrun jobs stay journalled for ``--resume``.
+
+        With checkpointing enabled the in-flight batch does not have to
+        *finish*: dropping the ``STOP`` file makes running simulations
+        snapshot and yield at their next poll, the engine finalises the
+        preemptions (requeueing is switched off), and the yielded jobs
+        go back to the queue — journalled accepted-without-done, so
+        ``serve --resume`` resumes them mid-flight."""
+        if self.checkpoint_dir is not None:
+            self.engine.stop_preempting()
+            try:
+                self._stop_file_path().touch()
+            except OSError:
+                pass
         with self._cond:
             self._stop_now = True
             self._cond.notify_all()
@@ -284,6 +330,32 @@ class ExperimentDaemon:
 
     def _info_path(self) -> Path:
         return self.state_dir / protocol.DAEMON_INFO_NAME
+
+    def _stop_file_path(self) -> Path:
+        return self.checkpoint_dir / "STOP"
+
+    def _job_checkpoint(self, job: _Job) -> dict | None:
+        """The per-job checkpoint spec shipped to the worker (see
+        :meth:`CheckpointPlan.from_spec`), or ``None``.
+
+        The point id is derived from the job's *content key*, so a
+        coalesced resubmission — or the same job re-queued by
+        ``--resume`` after a crash — finds the snapshot of its earlier
+        incarnation. The deadline is 80% of the engine watchdog budget:
+        the simulation yields a snapshot before the watchdog would have
+        killed it without one.
+        """
+        if self.checkpoint_dir is None or job.spec.get("kind") != "fig7-cell":
+            return None
+        deadline_s = (self.point_timeout * 0.8
+                      if self.point_timeout else None)
+        return {
+            "dir": str(self.checkpoint_dir),
+            "point_id": f"job-{job.key[:16]}",
+            "every": self.checkpoint_every,
+            "deadline_s": deadline_s,
+            "stop_file": str(self._stop_file_path()),
+        }
 
     def _refuse_second_daemon(self) -> None:
         try:
@@ -565,7 +637,12 @@ class ExperimentDaemon:
                         "cache_hits": stats.cache_hits,
                         "cache_stores": stats.cache_stores,
                         "failed": stats.failed,
-                        "retried": stats.retried},
+                        "retried": stats.retried,
+                        "preempted": stats.preempted},
+                checkpoints=(
+                    {"dir": str(self.checkpoint_dir),
+                     "hits": self._ckpt_store.hit_count()}
+                    if self._ckpt_store is not None else None),
                 cache={"hits": self.cache.hits,
                        "misses": self.cache.misses},
                 journal={"appended": self.journal.appended,
@@ -621,7 +698,8 @@ class ExperimentDaemon:
 
         try:
             self.engine.run(
-                execute_job, [(job.spec,) for job in batch],
+                execute_job,
+                [(job.spec, self._job_checkpoint(job)) for job in batch],
                 keys=[job.key for job in batch], label="service",
                 on_result=on_result)
         except Exception as exc:  # noqa: BLE001 - engine bug guard
@@ -637,6 +715,20 @@ class ExperimentDaemon:
     def _job_finished(self, job: _Job, value: Any) -> None:
         with self._cond:
             if job.state != RUNNING:
+                return
+            if (isinstance(value, PointFailure)
+                    and value.exc_type == "SimulationPreempted"):
+                # Cooperative yield (shutdown stop file): the job's
+                # snapshot is on disk, so put it back at the head of
+                # the queue. No journal record — it stays accepted-
+                # without-done, exactly what ``--resume`` re-queues —
+                # and its clients keep their in-flight slots.
+                job.state = QUEUED
+                job.failure = None
+                self._running -= 1
+                self._queue.appendleft(job)
+                self.profiler.count("service.jobs_preempted")
+                self._cond.notify_all()
                 return
             self._running -= 1
             for client in job.clients:

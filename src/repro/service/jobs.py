@@ -149,13 +149,19 @@ def job_key(cache, spec: dict) -> str:
     return cache.key(**spec)
 
 
-def execute_job(spec: dict) -> dict:
+def execute_job(spec: dict, checkpoint: dict | None = None) -> dict:
     """Run one validated job spec — the engine's unit of work.
 
-    Module-level and called with one plain-dict argument, so it is
+    Module-level and called with plain-dict arguments, so it is
     picklable into spawned workers and a batch may mix job kinds.
     Returns a JSON-serialisable result (the engine memoises it in the
     result cache).
+
+    ``checkpoint`` is an optional snapshot spec (see
+    :meth:`~repro.vortex.simx.checkpoint.CheckpointPlan.from_spec`) the
+    daemon attaches per job; it changes *scheduling* (the simulation can
+    yield mid-flight and resume), never the result, so it is
+    deliberately not part of the job spec or its content key.
     """
     kind = spec["kind"]
     if kind == "probe":
@@ -171,6 +177,7 @@ def execute_job(spec: dict) -> dict:
         config = VortexConfig().with_geometry(
             cores=spec["cores"], warps=spec["warps"],
             threads=spec["threads"])
-        return sweep_point(spec["benchmark"], config, spec["n"])
+        return sweep_point(spec["benchmark"], config, spec["n"],
+                           checkpoint=checkpoint)
     raise ServiceError(f"unexecutable job kind {kind!r}",
                        code="internal")

@@ -16,7 +16,7 @@ from typing import Any
 
 import numpy as np
 
-from ..errors import RuntimeLaunchError
+from ..errors import CheckpointError, RuntimeLaunchError
 from ..ocl.host import CompiledKernel, DeviceBackend, LaunchStats
 from ..ocl.ir import Kernel
 from ..ocl.ndrange import NDRange
@@ -38,7 +38,8 @@ class VortexBackend(DeviceBackend):
 
     def __init__(self, config: VortexConfig | None = None,
                  max_cycles: int = 200_000_000, optimize: bool = True,
-                 trace: bool = False, profiler=None, launch_hook=None):
+                 trace: bool = False, profiler=None, launch_hook=None,
+                 checkpoint=None):
         self.config = config if config is not None else VortexConfig()
         self.max_cycles = max_cycles
         self.optimize = optimize
@@ -52,6 +53,12 @@ class VortexBackend(DeviceBackend):
         #: completes and buffers are copied back — the golden-trace
         #: harness uses it to digest the final device state.
         self.launch_hook = launch_hook
+        #: optional :class:`repro.vortex.simx.checkpoint.CheckpointPlan`;
+        #: every launch then snapshots on the plan's cadence, resumes
+        #: from an existing snapshot when one verifies, and yields
+        #: :class:`~repro.errors.SimulationPreempted` past the plan's
+        #: deadline instead of being killed by the engine watchdog.
+        self.checkpoint = checkpoint
         self._image_cache: dict[tuple, VortexKernelImage] = {}
 
     def build(self, kernel: Kernel) -> "VortexCompiledKernel":
@@ -82,47 +89,87 @@ class VortexCompiledKernel(CompiledKernel):
                 f"kernel {kernel.name} expects {len(kernel.params)} args"
             )
         image = self.backend.compile_for(kernel, ndrange)
-        machine = Machine(self.backend.config, trace=self.backend.trace,
-                          profiler=self.backend.profiler)
-        if machine.profiler.enabled:
-            machine.profiler.set_meta("kernel", kernel.name)
-        machine.load_image(image)
 
-        # Marshal arguments: buffers into the heap, scalars by value.
-        heap = layout.HEAP_BASE
-        arg_words = np.zeros(max(1, len(kernel.params)), dtype=np.int32)
-        buffers: list[tuple[int, np.ndarray]] = []
-        for param, arg in zip(kernel.params, args):
-            if is_pointer(param.ty):
-                if not isinstance(arg, np.ndarray) or arg.ndim != 1:
-                    raise RuntimeLaunchError(
-                        f"arg {param.name!r} must be a 1-D numpy array"
-                    )
-                want = np.int32 if param.ty.element is INT32 else np.float32
-                if arg.dtype != want:
-                    raise RuntimeLaunchError(
-                        f"arg {param.name!r}: dtype {arg.dtype} != "
-                        f"{np.dtype(want)}"
-                    )
-                nbytes = arg.nbytes
-                if heap + nbytes > layout.HEAP_LIMIT:
-                    raise RuntimeLaunchError("device heap exhausted")
-                machine.memory.write_bytes(heap, arg.view(np.uint8))
-                buffers.append((heap, arg))
-                arg_words[param.index] = np.int32(heap)
-                heap += (nbytes + _HEAP_ALIGN - 1) & ~(_HEAP_ALIGN - 1)
-            elif param.ty is FLOAT32:
-                arg_words[param.index] = np.float32(arg).view(np.int32)
-            else:
-                arg_words[param.index] = np.int32(int(arg) & 0xFFFFFFFF
-                                                  if int(arg) >= 0
-                                                  else int(arg))
-        if kernel.params:
-            machine.memory.write_words(layout.ARG_BASE, arg_words)
+        def assemble() -> tuple[Machine, list[tuple[int, np.ndarray]]]:
+            """Fresh machine with image loaded and arguments marshalled.
 
-        result: LaunchResult = machine.launch(
-            ndrange, max_cycles=self.backend.max_cycles
-        )
+            Deterministic given the same host arrays, so the
+            post-marshal memory is the reproducible baseline snapshots
+            delta-compress against — and reassembling after a failed
+            resume verification yields a clean machine to launch.
+            """
+            machine = Machine(self.backend.config,
+                              trace=self.backend.trace,
+                              profiler=self.backend.profiler)
+            if machine.profiler.enabled:
+                machine.profiler.set_meta("kernel", kernel.name)
+            machine.load_image(image)
+
+            # Marshal arguments: buffers into the heap, scalars by value.
+            heap = layout.HEAP_BASE
+            arg_words = np.zeros(max(1, len(kernel.params)), dtype=np.int32)
+            buffers: list[tuple[int, np.ndarray]] = []
+            for param, arg in zip(kernel.params, args):
+                if is_pointer(param.ty):
+                    if not isinstance(arg, np.ndarray) or arg.ndim != 1:
+                        raise RuntimeLaunchError(
+                            f"arg {param.name!r} must be a 1-D numpy array"
+                        )
+                    want = (np.int32 if param.ty.element is INT32
+                            else np.float32)
+                    if arg.dtype != want:
+                        raise RuntimeLaunchError(
+                            f"arg {param.name!r}: dtype {arg.dtype} != "
+                            f"{np.dtype(want)}"
+                        )
+                    nbytes = arg.nbytes
+                    if heap + nbytes > layout.HEAP_LIMIT:
+                        raise RuntimeLaunchError("device heap exhausted")
+                    machine.memory.write_bytes(heap, arg.view(np.uint8))
+                    buffers.append((heap, arg))
+                    arg_words[param.index] = np.int32(heap)
+                    heap += (nbytes + _HEAP_ALIGN - 1) & ~(_HEAP_ALIGN - 1)
+                elif param.ty is FLOAT32:
+                    arg_words[param.index] = np.float32(arg).view(np.int32)
+                else:
+                    arg_words[param.index] = np.int32(
+                        int(arg) & 0xFFFFFFFF if int(arg) >= 0 else int(arg)
+                    )
+            if kernel.params:
+                machine.memory.write_words(layout.ARG_BASE, arg_words)
+            return machine, buffers
+
+        machine, buffers = assemble()
+        plan = self.backend.checkpoint
+        if plan is None:
+            result: LaunchResult = machine.launch(
+                ndrange, max_cycles=self.backend.max_cycles
+            )
+        else:
+            ctl = plan.next_control()
+            state = ctl.store.load(ctl.launch_id)
+            if state is not None:
+                try:
+                    result = machine.resume(
+                        ndrange, state,
+                        max_cycles=self.backend.max_cycles,
+                        checkpoint=ctl,
+                    )
+                    plan.hits += 1
+                except CheckpointError:
+                    # Mismatched snapshot (the store already dropped
+                    # corrupt/stale files): degrade to a clean run.
+                    ctl.store.discard(ctl.launch_id)
+                    machine, buffers = assemble()
+                    state = None
+            if state is None:
+                result = machine.launch(
+                    ndrange, max_cycles=self.backend.max_cycles,
+                    checkpoint=ctl,
+                )
+            # Completed: the snapshot is spent; a retry of this point
+            # re-simulates this launch from scratch, deterministically.
+            ctl.store.discard(ctl.launch_id)
 
         # Copy buffers back (device-visible writes land in host arrays).
         for addr, arr in buffers:

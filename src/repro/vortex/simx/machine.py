@@ -34,12 +34,18 @@ from typing import Any
 
 import numpy as np
 
-from ...errors import RuntimeLaunchError, SimulationError
+from ...errors import (
+    CheckpointError,
+    RuntimeLaunchError,
+    SimulationError,
+    SimulationPreempted,
+)
 from ...ocl.ndrange import NDRange
 from ...profiling import Profiler, ensure_profiler
 from .. import layout
 from ..codegen import VortexKernelImage
 from ..isa import CSR
+from .checkpoint import CHECK_INTERVAL as _CKPT_CHECK_INTERVAL
 from .config import VortexConfig
 from .core import (
     Core,
@@ -57,6 +63,11 @@ from .warp import BLOCKED
 
 #: Environment variable disabling both fast-forward mechanisms.
 NO_FASTFORWARD_ENV = "REPRO_SIMX_NO_FASTFORWARD"
+
+#: `describe_warp_states` renders at most this many warp lines before
+#: truncating to a summary (huge (C, W) configs must not turn an
+#: exception payload into megabytes of journal/PointFailure text).
+WARP_DUMP_MAX = 32
 
 
 @dataclass
@@ -164,8 +175,8 @@ class Machine:
     # Launch.
     # ------------------------------------------------------------------
 
-    def launch(self, ndrange: NDRange, max_cycles: int = 200_000_000
-               ) -> LaunchResult:
+    def launch(self, ndrange: NDRange, max_cycles: int = 200_000_000,
+               checkpoint=None) -> LaunchResult:
         if self._image is None:
             raise RuntimeLaunchError("no kernel image loaded")
         cfg = self.config
@@ -195,14 +206,80 @@ class Machine:
             1 for core in self.cores for w in core.warps if w.active
         )
         self._dispatch_blocked = False
-        now = 0
+        for i in range(len(self._frozen_until)):
+            self._frozen_until[i] = 0
+        if self.profiler.enabled:
+            self._profile_prologue(ndrange)
+        if checkpoint is not None:
+            self._arm_checkpoint(checkpoint)
+        self._try_dispatch(0)
+        return self._run(0, max_cycles, checkpoint)
+
+    def resume(self, ndrange: NDRange, state: dict,
+               max_cycles: int = 200_000_000,
+               checkpoint=None) -> LaunchResult:
+        """Restore a verified snapshot and continue to completion.
+
+        The machine must be assembled exactly as for :meth:`launch` —
+        image loaded, kernel arguments marshalled — so its memory holds
+        the deterministic baseline the snapshot's delta was taken
+        against. Every precondition (config label, ndrange, program
+        fingerprint, memory baseline) is verified *before* any
+        mutation; on :class:`CheckpointError` the caller can fall back
+        to a clean :meth:`launch` on a fresh machine.
+        """
+        from .checkpoint import restore_state, verify_resume
+
+        if self._image is None:
+            raise RuntimeLaunchError("no kernel image loaded")
+        if self.profiler.enabled or self.trace is not None:
+            raise CheckpointError(
+                "cannot resume a snapshot with profiling or tracing "
+                "enabled (their state is not snapshotted)"
+            )
+        ndr_words = np.array(
+            list(ndrange.global_size) + list(ndrange.local_size)
+            + list(ndrange.num_groups),
+            dtype=np.int32,
+        )
+        self.memory.write_words(layout.NDR_BASE, ndr_words)
+        verify_resume(self, ndrange, state)
+        self._ndrange = ndrange
+        # The pre-restore memory *is* the baseline for further deltas.
+        self._ckpt_baseline = self.memory.data.copy()
+        self._ckpt_baseline_sha = state["baseline_sha"]
+        self._ckpt_program_sha = state["program_sha"]
+        restore_state(self, state)
+        if checkpoint is not None:
+            checkpoint.note_resumed(int(state["now"]))
+        return self._run(int(state["now"]), max_cycles, checkpoint)
+
+    def _arm_checkpoint(self, ckpt) -> None:
+        """Record the post-marshal baselines snapshots delta against."""
+        import hashlib
+
+        from .checkpoint import program_fingerprint
+
+        if self.profiler.enabled or self.trace is not None:
+            raise CheckpointError(
+                "checkpointing is incompatible with profiling or "
+                "tracing (sampler and trace state are not snapshotted)"
+            )
+        self._ckpt_baseline = self.memory.data.copy()
+        self._ckpt_baseline_sha = hashlib.sha256(
+            self._ckpt_baseline).hexdigest()
+        self._ckpt_program_sha = program_fingerprint(self._image,
+                                                     self.config)
+
+    def _run(self, now: int, max_cycles: int, ckpt=None) -> LaunchResult:
+        """The main cycle loop, from ``now`` (0 for a fresh launch, the
+        snapshot cycle for a resume) to completion."""
         prof = self.profiler
         profiling = prof.enabled
         if profiling:
-            self._profile_prologue(ndrange)
             sampler = _BucketSampler(self, prof)
-        self._try_dispatch(now)
         total_groups = len(self._pending) + self._groups_dispatched
+        skip = self.skip_stats
 
         ff = self.fast_forward
         cores = self.cores
@@ -211,13 +288,23 @@ class Machine:
         # loop-invariant even as its contents drain.
         pending = self._pending
         frozen_until = self._frozen_until
-        for i in range(len(frozen_until)):
-            frozen_until[i] = 0
         # Known multi-beat busy windows: while ``now`` is inside one the
         # issue stage cannot change state, so the loop books the busy
         # cycle directly instead of calling tick. (Deferring the lazy
         # LSU purge is safe — its state is only read at issue time.)
-        busy_until = [0] * len(cores)
+        # ``busy_until[i]`` tracks ``core.issue_busy_until`` exactly
+        # (both start at 0 and only the ISSUED/BUSY branches copy it),
+        # which is what lets a restored snapshot rebuild it here.
+        busy_until = [core.issue_busy_until for core in cores]
+        run_start = now
+        if ckpt is not None:
+            ckpt_step = min(ckpt.every_cycles, _CKPT_CHECK_INTERVAL)
+            next_ckpt = now + ckpt_step
+            next_snap = now + ckpt.every_cycles
+        else:
+            # One always-false compare per iteration: the off path costs
+            # nothing measurable (BENCH_simx.json pins this).
+            next_ckpt = BLOCKED
         # Hoisted errstate: the decoded handlers run without a per-issue
         # context manager (float div-by-zero etc. must stay silent).
         with np.errstate(all="ignore"):
@@ -330,6 +417,17 @@ class Machine:
                     raise self._stuck_error(
                         f"simulation exceeded {max_cycles} cycles", now
                     )
+                if now >= next_ckpt:
+                    # Coarse checkpoint boundary: the state here is
+                    # exactly the loop-top state for cycle ``now``, so a
+                    # snapshot taken now resumes byte-identically.
+                    next_ckpt = now + ckpt_step
+                    preempt = ckpt.due_preempt(now, run_start)
+                    if preempt or now >= next_snap:
+                        ckpt.save(self, now)
+                        next_snap = now + ckpt.every_cycles
+                    if preempt:
+                        raise SimulationPreempted(ckpt.launch_id, now)
 
         if profiling:
             sampler.flush(now)
@@ -356,20 +454,28 @@ class Machine:
             },
         )
 
-    def describe_warp_states(self, now: int) -> str:
+    def describe_warp_states(self, now: int,
+                             max_warps: int = WARP_DUMP_MAX) -> str:
         """Render every warp's state: core, warp id, PC, active mask,
         group key and why it is (not) making progress. Attached to the
         :class:`SimulationError` raised for a stuck machine, so a hung
         configuration inside a sweep is debuggable from the rendered
-        error row alone — no re-run with tracing needed."""
-        lines = []
+        error row alone — no re-run with tracing needed.
+
+        Configurations with more than ``max_warps`` warps render the
+        problem warps (barrier/blocked/stalled) first, capped at
+        ``max_warps`` lines plus one summary line — the dump stays
+        bounded no matter the (C, W) geometry."""
+        entries: list[tuple[str, bool]] = []
         for core in self.cores:
             barrier_of = {wid: bar
                           for bar, wids in core.barriers.items()
                           for wid in wids}
             for warp in core.warps:
+                problem = True
                 if not warp.active:
                     status = "halted"
+                    problem = False
                 elif warp.at_barrier:
                     status = f"waiting at barrier {barrier_of.get(warp.wid, '?')}"
                 elif warp.ready_at >= BLOCKED:
@@ -378,12 +484,27 @@ class Machine:
                     status = f"stalled until cycle {warp.ready_at}"
                 else:
                     status = "ready"
-                lines.append(
+                    problem = False
+                entries.append((
                     f"  core {core.cid} warp {warp.wid}: "
                     f"pc={warp.pc:#06x} mask={warp.tmask_bits():#x} "
-                    f"group={warp.group_key} {status}"
-                )
-        return "\n".join(lines)
+                    f"group={warp.group_key} {status}",
+                    problem,
+                ))
+        if len(entries) <= max_warps:
+            return "\n".join(line for line, _ in entries)
+        problems = [line for line, p in entries if p]
+        shown = problems[:max_warps]
+        if len(shown) < max_warps:
+            others = [line for line, p in entries if not p]
+            shown.extend(others[:max_warps - len(shown)])
+        total = len(entries)
+        shown.append(
+            f"  ... {total - max_warps} more warp(s) omitted "
+            f"({len(problems)} problem of {total} total; "
+            f"dump capped at {max_warps})"
+        )
+        return "\n".join(shown)
 
     def _stuck_error(self, headline: str, now: int) -> SimulationError:
         dump = self.describe_warp_states(now)
