@@ -13,6 +13,12 @@ Usage::
     python -m repro profile vecadd --backend simx
     python -m repro profile bfs --backend hls --trace-out bfs.trace.json
 
+    # calibrated analytical models + hierarchical DSE:
+    python -m repro calibrate --out .repro-calibration.json
+    python -m repro dse vecadd --calibration .repro-calibration.json \\
+        --cores 1,2,4,8,16 --warps 1,2,4,8,16,32 --threads 1,2,4,8,16
+    python -m repro dse vecadd --confirm none   # screen only (ms)
+
     # experiment service (crash-safe job queue over the engine):
     python -m repro serve --state-dir .repro-service --jobs 4
     python -m repro submit '{"kind": "fig7-cell", "benchmark": "vecadd",
@@ -211,6 +217,84 @@ def _profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _calibrate(args: argparse.Namespace) -> int:
+    from .calibrate import DEFAULT_ARTIFACT_PATH, run_calibration
+    from .errors import ReproError
+
+    benchmarks = tuple(
+        tok for tok in (args.benchmarks or "").split(",") if tok.strip()
+    ) or ("vecadd", "transpose")
+    policy = _policy(args)
+    try:
+        artifact = run_calibration(
+            benchmarks=benchmarks, n=args.n, cache=_make_cache(args),
+            jobs=_jobs(args), retries=policy["retries"],
+            point_timeout=policy["point_timeout"])
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    path = artifact.save(args.out or DEFAULT_ARTIFACT_PATH)
+    print(f"calibrated against SimX at n={args.n} "
+          f"({', '.join(benchmarks)})")
+    for flow in ("vortex", "hls"):
+        for bench, bounds in sorted(
+                artifact.error_bounds.get(flow, {}).items()):
+            print(f"  {flow:6s} {bench:12s} max rel err "
+                  f"{bounds['max_rel_err']:.3f}  mean "
+                  f"{bounds['mean_rel_err']:.3f}  "
+                  f"({bounds['points']} points)")
+    print(f"artifact written to {path} "
+          f"(fingerprint {artifact.fingerprint[:12]}…)")
+    return 0
+
+
+def _dse(args: argparse.Namespace) -> int:
+    from .calibrate import (DEFAULT_ARTIFACT_PATH, load_calibration,
+                            run_calibration)
+    from .errors import ReproError
+    from .harness import run_dse
+
+    policy = _policy(args)
+    cache = _make_cache(args)
+    try:
+        calibration = None
+        if args.calibrate:
+            calibration = run_calibration(
+                benchmarks=(args.benchmark,), n=min(args.n, 1024),
+                cache=cache, jobs=_jobs(args),
+                retries=policy["retries"],
+                point_timeout=policy["point_timeout"])
+        elif args.calibration:
+            calibration = load_calibration(args.calibration)
+        result = run_dse(
+            args.benchmark, n=args.n,
+            core_counts=_sizes(args.cores, (1, 2, 4, 8)),
+            warp_sizes=_sizes(args.warps, (2, 4, 8, 16)),
+            thread_sizes=_sizes(args.threads, (2, 4, 8, 16)),
+            calibration=calibration,
+            confirm=args.confirm,
+            frontier_cap=args.frontier_cap,
+            simulate_top=args.top_k,
+            cache=cache, jobs=_jobs(args),
+            checkpoint_dir=(getattr(args, "checkpoint_dir", "") or None),
+            checkpoint_every=getattr(args, "checkpoint_every", None),
+            **policy)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(result.render())
+    if calibration is None and args.confirm == "frontier":
+        print("\n(uncalibrated screen: pass --calibrate or "
+              f"--calibration {DEFAULT_ARTIFACT_PATH} to prune the "
+              "frontier with measured error bounds)")
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(result.to_payload(), fh, indent=1, sort_keys=True)
+        print(f"result JSON written to {args.json_out}")
+    errored = sum(1 for c in result.candidates if c.sim_error)
+    return 1 if errored else 0
+
+
 def _serve(args: argparse.Namespace) -> int:
     from .errors import ServiceError
     from .service import ExperimentDaemon, resolve_state_dir
@@ -380,8 +464,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--checkpoint-dir", default="", metavar="PATH",
         help="snapshot running simulations under PATH so a preempted or "
              "killed point resumes mid-flight instead of restarting "
-             "(fig7 only; with --point-timeout a point checkpoints out "
-             "before the watchdog would kill it)")
+             "(fig7 and dse confirmations; with --point-timeout a point "
+             "checkpoints out before the watchdog would kill it)")
     engine_flags.add_argument(
         "--checkpoint-every", type=int, default=None, metavar="CYCLES",
         help="snapshot cadence in simulated cycles "
@@ -453,6 +537,59 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="skip output validation against the numpy reference")
     p.set_defaults(func=_profile)
 
+    p = sub.add_parser(
+        "calibrate",
+        parents=[engine_flags],
+        help="fit the analytical predictors against SimX / the HLS "
+             "pipeline model and write a fingerprinted calibration "
+             "artifact (the trusted input of `dse`)",
+    )
+    p.add_argument("--out", default="", metavar="PATH",
+                   help="artifact path (default .repro-calibration.json)")
+    p.add_argument("--benchmarks", default="", metavar="B,B,...",
+                   help="comma-separated benchmarks "
+                        "(default vecadd,transpose)")
+    p.add_argument("--n", type=int, default=4096,
+                   help="problem size of the SimX ground-truth cells "
+                        "(default 4096)")
+    p.set_defaults(func=_calibrate)
+
+    p = sub.add_parser(
+        "dse",
+        parents=[engine_flags],
+        help="hierarchical design-space exploration: screen the full "
+             "grid with the analytical model in milliseconds, then "
+             "SimX-confirm only the Pareto frontier",
+    )
+    p.add_argument("benchmark", help="sweep benchmark: vecadd or transpose")
+    p.add_argument("--n", type=int, default=4096,
+                   help="problem size (default 4096)")
+    p.add_argument("--cores", default="", metavar="C,C,...",
+                   help="core counts to screen (default 1,2,4,8)")
+    p.add_argument("--warps", default="", metavar="W,W,...",
+                   help="warp counts to screen (default 2,4,8,16)")
+    p.add_argument("--threads", default="", metavar="T,T,...",
+                   help="thread counts to screen (default 2,4,8,16)")
+    p.add_argument("--confirm", choices=("frontier", "top", "none"),
+                   default="frontier",
+                   help="confirmation policy: Pareto frontier "
+                        "(hierarchical, default), flat top-K baseline, "
+                        "or screen only")
+    p.add_argument("--frontier-cap", type=int, default=8,
+                   help="max frontier points to SimX-confirm (default 8)")
+    p.add_argument("--top-k", type=int, default=8,
+                   help="confirmation budget for --confirm top "
+                        "(default 8)")
+    p.add_argument("--calibration", default="", metavar="PATH",
+                   help="load a saved calibration artifact (its error "
+                        "bounds drive frontier pruning)")
+    p.add_argument("--calibrate", action="store_true",
+                   help="fit a fresh calibration for this benchmark "
+                        "first instead of loading one")
+    p.add_argument("--json-out", default="", metavar="PATH",
+                   help="also write the full DSE result payload as JSON")
+    p.set_defaults(func=_dse)
+
     service_flags = argparse.ArgumentParser(add_help=False)
     service_flags.add_argument(
         "--state-dir", default="", metavar="PATH",
@@ -491,8 +628,8 @@ def _build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="per-point watchdog for service jobs")
     p.add_argument("--checkpoint-dir", default="", metavar="PATH",
-                   help="snapshot running fig7-cell simulations under "
-                        "PATH: a stop/kill mid-simulation is resumed "
+                   help="snapshot running fig7-cell/dse simulations "
+                        "under PATH: a stop/kill mid-simulation is resumed "
                         "mid-flight by serve --resume instead of "
                         "re-running from cycle 0")
     p.add_argument("--checkpoint-every", type=int, default=None,

@@ -98,6 +98,16 @@ class TrapError(SimulationError):
     """A simulated Vortex core executed an illegal/unaligned operation."""
 
 
+class CalibrationError(ReproError):
+    """Model calibration could not produce or load a usable fit.
+
+    Raised when a calibration artifact is missing/corrupt, was fitted
+    against a different code fingerprint (and the caller asked for a
+    strict load), or when ground-truth collection failed so the fit
+    would be based on incomplete samples.
+    """
+
+
 class CheckpointError(ReproError):
     """A simulation snapshot could not be taken or used.
 

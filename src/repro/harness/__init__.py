@@ -24,7 +24,16 @@ from .case_study import (
 )
 from ..errors import ExperimentAborted, PointFailure
 from .coverage import PAPER_TABLE1, CoverageReport, run_coverage
-from .dse import Candidate, DSEResult, explore_design_space
+from .dse import (
+    Candidate,
+    DSEResult,
+    dse_confirm_point,
+    explore_design_space,
+    launch_rejection,
+    pareto_frontier,
+    run_dse,
+    workload_rejection,
+)
 from .engine import (
     EngineStats,
     ExperimentEngine,
@@ -85,8 +94,13 @@ __all__ = [
     "SweepResult",
     "Table3Report",
     "Table4Report",
+    "dse_confirm_point",
+    "launch_rejection",
     "explore_design_space",
     "make_profiled_backend",
+    "pareto_frontier",
+    "run_dse",
+    "workload_rejection",
     "render_comparison",
     "render_heatmap",
     "render_table",

@@ -145,7 +145,8 @@ class ExperimentDaemon:
     retries / point_timeout:
         Engine fault-tolerance policy for service campaigns.
     checkpoint_dir / checkpoint_every:
-        When ``checkpoint_dir`` is set, every ``fig7-cell`` simulation
+        When ``checkpoint_dir`` is set, every ``fig7-cell`` (and every
+        ``dse`` confirmation) simulation
         snapshots its machine state there on a ``checkpoint_every``
         cycle cadence (default
         :data:`~repro.vortex.simx.checkpoint.DEFAULT_EVERY_CYCLES`) and
@@ -345,7 +346,8 @@ class ExperimentDaemon:
         the simulation yields a snapshot before the watchdog would have
         killed it without one.
         """
-        if self.checkpoint_dir is None or job.spec.get("kind") != "fig7-cell":
+        if (self.checkpoint_dir is None
+                or job.spec.get("kind") not in ("fig7-cell", "dse")):
             return None
         deadline_s = (self.point_timeout * 0.8
                       if self.point_timeout else None)

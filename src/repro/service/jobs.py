@@ -18,6 +18,15 @@ Kinds
     batch-CLI results, and resumed campaigns all deduplicate against
     the same :class:`~repro.harness.result_cache.ResultCache` entries.
 
+``dse``
+    One hierarchical design-space exploration (see
+    :func:`repro.harness.dse.run_dse`): screen a ``cores`` x ``warps``
+    x ``threads`` grid with the analytical model, then confirm the
+    Pareto frontier (or the flat top-K, per ``confirm``) on SimX.
+    ``calibrated`` fits the model against SimX first, so the job's
+    frontier pruning uses measured error bounds. The result payload is
+    :meth:`~repro.harness.dse.DSEResult.to_payload`.
+
 ``probe``
     A synthetic point for smoke/chaos testing the service itself:
     echoes ``value`` after an optional ``sleep_s``, or raises when
@@ -51,7 +60,15 @@ MAX_PROBE_SLEEP_S = 600.0
 
 SWEEP_BENCHMARKS = ("vecadd", "transpose")
 
-JOB_KINDS = ("fig7-cell", "probe")
+#: admission bounds for dse jobs: SimX caps threads at 32 per warp, a
+#: grid bigger than this screens in well under a second but signals a
+#: typo, and the confirmation budget bounds the expensive part.
+MAX_DSE_THREADS = 32
+MAX_DSE_POINTS = 4096
+MAX_DSE_CONFIRM = 64
+DSE_CONFIRM_MODES = ("frontier", "top", "none")
+
+JOB_KINDS = ("fig7-cell", "dse", "probe")
 
 
 def _bad(message: str) -> ServiceError:
@@ -70,6 +87,24 @@ def _require_int(spec: dict, field: str, lo: int, hi: int,
         raise _bad(f"job field {field!r} must be in [{lo}, {hi}], "
                    f"got {value}")
     return value
+
+
+def _require_int_list(spec: dict, field: str, lo: int, hi: int,
+                      default: list[int]) -> list[int]:
+    """A non-empty list of bounded integers, canonicalised to sorted
+    unique values (so logically-equal grids share one content key)."""
+    value = spec.get(field, default)
+    if not isinstance(value, (list, tuple)) or not value:
+        raise _bad(f"job field {field!r} must be a non-empty list "
+                   f"of integers")
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, int):
+            raise _bad(f"job field {field!r} entries must be integers, "
+                       f"got {item!r}")
+        if not lo <= item <= hi:
+            raise _bad(f"job field {field!r} entries must be in "
+                       f"[{lo}, {hi}], got {item}")
+    return sorted(set(value))
 
 
 def _check_fields(spec: dict, allowed: set[str]) -> None:
@@ -105,6 +140,45 @@ def validate_job(spec: Any) -> dict:
             "cores": _require_int(spec, "cores", 1, MAX_GEOMETRY, 4),
             "n": _require_int(spec, "n", MIN_N, MAX_N, 4096),
         }
+    if kind == "dse":
+        _check_fields(spec, {"benchmark", "n", "cores", "warps",
+                             "threads", "confirm", "frontier_cap",
+                             "simulate_top", "calibrated"})
+        benchmark = spec.get("benchmark")
+        if benchmark not in SWEEP_BENCHMARKS:
+            raise _bad(f"dse benchmark must be one of "
+                       f"{list(SWEEP_BENCHMARKS)}, got {benchmark!r}")
+        cores = _require_int_list(spec, "cores", 1, MAX_GEOMETRY,
+                                  [1, 2, 4, 8])
+        warps = _require_int_list(spec, "warps", 1, MAX_GEOMETRY,
+                                  [2, 4, 8, 16])
+        threads = _require_int_list(spec, "threads", 1, MAX_DSE_THREADS,
+                                    [2, 4, 8, 16])
+        points = len(cores) * len(warps) * len(threads)
+        if points > MAX_DSE_POINTS:
+            raise _bad(f"dse grid has {points} points "
+                       f"(cap: {MAX_DSE_POINTS})")
+        confirm = spec.get("confirm", "frontier")
+        if confirm not in DSE_CONFIRM_MODES:
+            raise _bad(f"dse confirm must be one of "
+                       f"{list(DSE_CONFIRM_MODES)}, got {confirm!r}")
+        calibrated = spec.get("calibrated", True)
+        if not isinstance(calibrated, bool):
+            raise _bad("dse calibrated must be a boolean")
+        return {
+            "kind": "dse",
+            "benchmark": benchmark,
+            "n": _require_int(spec, "n", MIN_N, MAX_N, 4096),
+            "cores": cores,
+            "warps": warps,
+            "threads": threads,
+            "confirm": confirm,
+            "frontier_cap": _require_int(spec, "frontier_cap", 1,
+                                         MAX_DSE_CONFIRM, 8),
+            "simulate_top": _require_int(spec, "simulate_top", 1,
+                                         MAX_DSE_CONFIRM, 8),
+            "calibrated": calibrated,
+        }
     # probe
     _check_fields(spec, {"value", "sleep_s", "boom", "nonce"})
     value = spec.get("value", 0)
@@ -135,7 +209,9 @@ def job_key(cache, spec: dict) -> str:
     ``fig7-cell`` keys reproduce :func:`~repro.harness.sweep.run_sweep`
     exactly (same parts, same canonical :class:`VortexConfig`), which
     is what lets the service dedupe against sweeps run by the batch
-    CLI — and vice versa.
+    CLI — and vice versa. Other kinds (``dse``, ``probe``) key on their
+    canonical spec directly: :func:`validate_job` already normalised
+    field order, defaults, and grid lists, so equal requests collide.
     """
     if spec["kind"] == "fig7-cell":
         from ..vortex import VortexConfig
@@ -179,5 +255,33 @@ def execute_job(spec: dict, checkpoint: dict | None = None) -> dict:
             threads=spec["threads"])
         return sweep_point(spec["benchmark"], config, spec["n"],
                            checkpoint=checkpoint)
+    if kind == "dse":
+        from ..harness.dse import run_dse
+
+        calibration = None
+        if spec["calibrated"]:
+            from ..calibrate import run_calibration
+
+            # a small-n fit keeps the calibration sims a fraction of
+            # the job; the fitted constants transfer across n (the
+            # regression tests bound the held-out error).
+            calibration = run_calibration(
+                benchmarks=(spec["benchmark"],),
+                n=min(spec["n"], 1024))
+        result = run_dse(
+            spec["benchmark"], n=spec["n"],
+            core_counts=tuple(spec["cores"]),
+            warp_sizes=tuple(spec["warps"]),
+            thread_sizes=tuple(spec["threads"]),
+            calibration=calibration,
+            confirm=spec["confirm"],
+            frontier_cap=spec["frontier_cap"],
+            simulate_top=spec["simulate_top"],
+            checkpoint_dir=(checkpoint or {}).get("dir"),
+            checkpoint_every=(checkpoint or {}).get("every"),
+            checkpoint_deadline_s=(checkpoint or {}).get("deadline_s"),
+            checkpoint_stop_file=(checkpoint or {}).get("stop_file"),
+        )
+        return result.to_payload()
     raise ServiceError(f"unexecutable job kind {kind!r}",
                        code="internal")

@@ -6,7 +6,14 @@ JOIN / PRED / BAR) -> binary image -> execution on the SimX cycle-level
 simulator with configurable (cores, warps, threads).
 """
 
-from .analytical import KernelProfile, Prediction, explore, predict, recommend
+from .analytical import (
+    KernelProfile,
+    Prediction,
+    VortexModelParams,
+    explore,
+    predict,
+    recommend,
+)
 from .asm import Assembler, Program, disassemble
 from .codegen import CodeGen, VortexKernelImage, compile_kernel
 from .isa import CSR, Instruction, decode, encode, format_instruction
@@ -18,6 +25,7 @@ __all__ = [
     "Allocation",
     "KernelProfile",
     "Prediction",
+    "VortexModelParams",
     "explore",
     "predict",
     "recommend",

@@ -112,9 +112,55 @@ _SERVICE = 12.0
 _CONTENTION_ALPHA = 0.2
 
 
+@dataclass(frozen=True)
+class VortexModelParams:
+    """The model's free parameters, exposed so ``repro.calibrate`` can
+    fit them against SimX ground truth instead of hand-tuned constants.
+
+    The defaults reproduce the historical hand-tuned model exactly, so
+    every ``params=None`` call site behaves as before calibration
+    existed. The three ``*_scale`` factors are pure fitting degrees of
+    freedom (multipliers on each closed-form bound); the rest are the
+    physically-named constants the bounds are built from.
+    """
+
+    wave_overhead_ops: float = _WAVE_OVERHEAD_OPS
+    service_cycles: float = _SERVICE
+    contention_alpha: float = _CONTENTION_ALPHA
+    issue_scale: float = 1.0
+    memory_scale: float = 1.0
+    latency_scale: float = 1.0
+
+    def to_payload(self) -> dict:
+        return {
+            "wave_overhead_ops": self.wave_overhead_ops,
+            "service_cycles": self.service_cycles,
+            "contention_alpha": self.contention_alpha,
+            "issue_scale": self.issue_scale,
+            "memory_scale": self.memory_scale,
+            "latency_scale": self.latency_scale,
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "VortexModelParams":
+        return VortexModelParams(**{
+            k: float(payload[k]) for k in
+            VortexModelParams().to_payload()
+        })
+
+
+DEFAULT_VORTEX_PARAMS = VortexModelParams()
+
+
 def predict(profile: KernelProfile, config: VortexConfig,
-            items_per_group: int = 16) -> Prediction:
-    """Predict launch cycles for one configuration."""
+            items_per_group: int = 16,
+            params: VortexModelParams | None = None) -> Prediction:
+    """Predict launch cycles for one configuration.
+
+    ``params`` supplies calibrated model constants (see
+    :mod:`repro.calibrate`); ``None`` keeps the hand-tuned defaults.
+    """
+    p = params or DEFAULT_VORTEX_PARAMS
     c, w, t = config.cores, config.warps, config.threads
     n = profile.total_items
     lanes = config.issue_lanes
@@ -124,7 +170,7 @@ def predict(profile: KernelProfile, config: VortexConfig,
     # Per item: its share of the wave's instructions (ops/T) plus its
     # share of the wave-loop overhead, each issued in `beats` cycles.
     issue = n * (profile.ops_per_item / t) * beats / c \
-        + n * _WAVE_OVERHEAD_OPS * beats / (t * c)
+        + n * p.wave_overhead_ops * beats / (t * c)
 
     # --- memory bound ------------------------------------------------------
     line_words = 64 // _WORD
@@ -136,9 +182,9 @@ def predict(profile: KernelProfile, config: VortexConfig,
     store_lines = profile.stores_per_item * n / line_words  # write-combined
     lanes_per_line = min(t, line_words)
     concurrency = max(1.0, config.mshrs / lanes_per_line)
-    roundtrip = config.dram.latency + _SERVICE
+    roundtrip = config.dram.latency + p.service_cycles
     memory = (load_lines / c) * roundtrip / concurrency \
-        + (store_lines / c) * _SERVICE / config.dram.banks
+        + (store_lines / c) * p.service_cycles / config.dram.banks
 
     # --- latency bound ------------------------------------------------------
     # Each resident warp overlaps its waves' round trips with the others'.
@@ -153,13 +199,13 @@ def predict(profile: KernelProfile, config: VortexConfig,
     loads_in_flight = min(2.0, max(profile.loads_per_item, 0.0))
     demand = w * lanes_per_line * loads_in_flight
     pressure = max(0.0, demand / config.mshrs - 1.0)
-    contention = 1.0 + _CONTENTION_ALPHA * pressure
+    contention = 1.0 + p.contention_alpha * pressure
 
     return Prediction(
         config_label=config.label(),
-        issue_bound=issue * contention,
-        memory_bound=memory,
-        latency_bound=latency,
+        issue_bound=issue * contention * p.issue_scale,
+        memory_bound=memory * p.memory_scale,
+        latency_bound=latency * p.latency_scale,
     )
 
 
@@ -170,6 +216,7 @@ def explore(
     thread_sizes: tuple[int, ...] = (2, 4, 8, 16),
     base: VortexConfig | None = None,
     items_per_group: int = 16,
+    params: VortexModelParams | None = None,
 ) -> dict[tuple[int, int], Prediction]:
     """Predict the whole Figure 7 grid from one profile."""
     base = base or VortexConfig()
@@ -178,7 +225,8 @@ def explore(
         for t in thread_sizes:
             config = base.with_geometry(cores=cores, warps=w, threads=t)
             out[(w, t)] = predict(profile, config,
-                                  items_per_group=items_per_group)
+                                  items_per_group=items_per_group,
+                                  params=params)
     return out
 
 

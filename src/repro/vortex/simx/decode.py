@@ -155,6 +155,89 @@ def _make_imm_op(m: str, imm: int):
     raise SimulationError(f"bad int immop {m}")  # pragma: no cover
 
 
+# -- tiny-warp Python-int kernels -------------------------------------------
+#
+# For warps of <= TINY_LANES threads the numpy handlers spend more time
+# in ufunc dispatch and temporary-row allocation than in arithmetic.
+# These kernels mirror _INT_BIN_OPS/_make_imm_op exactly (including the
+# RISC-V M-extension division corner cases) but operate on plain Python
+# ints extracted with ndarray.item(); the ``_v_int_bin``/``_v_int_imm``
+# handlers select them via ``warp._tiny``. The differential tests in
+# ``tests/test_simx_vectorized.py`` hold both paths bit-identical.
+
+
+def _w32(v: int) -> int:
+    """Wrap a Python int to signed 32-bit two's complement."""
+    v &= 0xFFFFFFFF
+    return v - 0x100000000 if v >= 0x80000000 else v
+
+
+def _py_sdiv(a: int, b: int) -> int:
+    # RISC-V div: by zero -> -1, INT_MIN / -1 -> INT_MIN, else
+    # truncation toward zero (Python // truncates toward -inf).
+    if b == 0:
+        return -1
+    if a == -(2**31) and b == -1:
+        return a
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _py_srem(a: int, b: int) -> int:
+    # RISC-V rem: by zero -> dividend, INT_MIN % -1 -> 0, else the
+    # remainder matching truncating division (sign of the dividend).
+    if b == 0:
+        return a
+    if a == -(2**31) and b == -1:
+        return 0
+    return a - _py_sdiv(a, b) * b
+
+
+_PY_INT_BIN_OPS = {
+    "add": lambda a, b: _w32(a + b),
+    "sub": lambda a, b: _w32(a - b),
+    "sll": lambda a, b: _w32(a << (b & 31)),
+    "slt": lambda a, b: 1 if a < b else 0,
+    "sltu": lambda a, b: 1 if (a & 0xFFFFFFFF) < (b & 0xFFFFFFFF) else 0,
+    "xor": lambda a, b: a ^ b,
+    "srl": lambda a, b: _w32((a & 0xFFFFFFFF) >> (b & 31)),
+    "sra": lambda a, b: a >> (b & 31),
+    "or": lambda a, b: a | b,
+    "and": lambda a, b: a & b,
+    "mul": lambda a, b: _w32(a * b),
+    "mulh": lambda a, b: _w32((a * b) >> 32),
+    "div": _py_sdiv,
+    "rem": _py_srem,
+}
+
+
+def _make_py_imm_op(m: str, imm: int):
+    """Python-int twin of :func:`_make_imm_op` (same mnemonics)."""
+    if m == "addi":
+        return lambda a: _w32(a + imm)
+    if m == "slti":
+        return lambda a: 1 if a < imm else 0
+    if m == "sltiu":
+        c = imm & 0xFFFFFFFF
+        return lambda a: 1 if (a & 0xFFFFFFFF) < c else 0
+    if m == "xori":
+        return lambda a: a ^ imm
+    if m == "ori":
+        return lambda a: a | imm
+    if m == "andi":
+        return lambda a: a & imm
+    if m == "slli":
+        s = imm & 31
+        return lambda a: _w32(a << s)
+    if m == "srli":
+        s = imm & 31
+        return lambda a: _w32((a & 0xFFFFFFFF) >> s)
+    if m == "srai":
+        s = imm & 31
+        return lambda a: a >> s
+    raise SimulationError(f"bad int immop {m}")  # pragma: no cover
+
+
 _FLOAT_BIN_OPS = {
     "fadd.s": lambda a, b: a + b,
     "fsub.s": lambda a, b: a - b,
@@ -221,7 +304,18 @@ def _fcvt_w_s(a: np.ndarray) -> np.ndarray:
 def _v_int_bin(core, warp, d, now):
     if d.wb_x >= 0:
         x = warp.x
-        if warp._full:
+        if warp._tiny:
+            op, rs1, rs2, wb = d.aux, d.rs1, d.rs2, d.wb_x
+            if warp._full:
+                for lane in range(warp.num_threads):
+                    x[wb, lane] = op(x.item(rs1, lane), x.item(rs2, lane))
+            else:
+                tm = warp.tmask
+                for lane in range(warp.num_threads):
+                    if tm.item(lane):
+                        x[wb, lane] = op(x.item(rs1, lane),
+                                         x.item(rs2, lane))
+        elif warp._full:
             x[d.wb_x] = d.op(x[d.rs1], x[d.rs2])
         else:
             np.copyto(x[d.wb_x], d.op(x[d.rs1], x[d.rs2]),
@@ -233,7 +327,17 @@ def _v_int_bin(core, warp, d, now):
 def _v_int_imm(core, warp, d, now):
     if d.wb_x >= 0:
         x = warp.x
-        if warp._full:
+        if warp._tiny:
+            op, rs1, wb = d.aux, d.rs1, d.wb_x
+            if warp._full:
+                for lane in range(warp.num_threads):
+                    x[wb, lane] = op(x.item(rs1, lane))
+            else:
+                tm = warp.tmask
+                for lane in range(warp.num_threads):
+                    if tm.item(lane):
+                        x[wb, lane] = op(x.item(rs1, lane))
+        elif warp._full:
             x[d.wb_x] = d.op(x[d.rs1])
         else:
             np.copyto(x[d.wb_x], d.op(x[d.rs1]), where=warp.tmask)
@@ -569,10 +673,13 @@ def decode_one(ins: Instruction, pc: int, config: VortexConfig,
         group, op = _COMPUTE_KINDS[m]
         d.handler = table[group]
         d.op = op
+        if group == "int_bin":
+            d.aux = _PY_INT_BIN_OPS[m]  # tiny-warp twin (warp._tiny)
     elif m in ("addi", "slti", "sltiu", "xori", "ori", "andi",
                "slli", "srli", "srai"):
         d.handler = table["int_imm"]
         d.op = _make_imm_op(m, ins.imm)
+        d.aux = _make_py_imm_op(m, ins.imm)
     elif m == "lui":
         d.handler = table["const"]
         d.val = _i32(ins.imm << 12)

@@ -247,7 +247,7 @@ class Machine:
         self._ndrange = ndrange
         # The pre-restore memory *is* the baseline for further deltas.
         self._ckpt_baseline = self.memory.data.copy()
-        self._ckpt_baseline_sha = state["baseline_sha"]
+        self._ckpt_baseline_digest = state["baseline_digest"]
         self._ckpt_program_sha = state["program_sha"]
         restore_state(self, state)
         if checkpoint is not None:
@@ -256,9 +256,7 @@ class Machine:
 
     def _arm_checkpoint(self, ckpt) -> None:
         """Record the post-marshal baselines snapshots delta against."""
-        import hashlib
-
-        from .checkpoint import program_fingerprint
+        from .checkpoint import baseline_digest, program_fingerprint
 
         if self.profiler.enabled or self.trace is not None:
             raise CheckpointError(
@@ -266,8 +264,7 @@ class Machine:
                 "tracing (sampler and trace state are not snapshotted)"
             )
         self._ckpt_baseline = self.memory.data.copy()
-        self._ckpt_baseline_sha = hashlib.sha256(
-            self._ckpt_baseline).hexdigest()
+        self._ckpt_baseline_digest = baseline_digest(self._ckpt_baseline)
         self._ckpt_program_sha = program_fingerprint(self._image,
                                                      self.config)
 

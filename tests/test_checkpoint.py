@@ -452,3 +452,75 @@ def test_snapshot_header_is_one_json_line(tmp_path):
     assert header["magic"] == "repro-simx-snapshot"
     assert header["cycle"] == 3
     assert header["payload_len"] == len(raw) - raw.index(b"\n") - 1
+
+
+def test_store_save_roundtrips_at_any_compression_level(tmp_path):
+    """Hot-path snapshots use zlib level 0 (stored blocks); ``load``
+    must accept any level since the header never records one."""
+    state = {"now": 7, "blob": list(range(1000))}
+    for level in (0, 1, 9):
+        store = CheckpointStore(tmp_path / f"l{level}", fingerprint="f")
+        store.save("p", state, level=level)
+        assert store.load("p") == state
+
+
+# -- snapshot cost controls --------------------------------------------------
+
+
+def test_delta_indices_matches_bytewise():
+    import numpy as np
+
+    from repro.vortex.simx.checkpoint import _delta_indices
+
+    rng = np.random.default_rng(42)
+    for size in (0, 8, 64, 4096, 4096 + 3):  # incl. non-multiple-of-8
+        base = rng.integers(0, 256, size, dtype=np.uint8)
+        mem = base.copy()
+        if size:
+            dirty = rng.integers(0, size, size // 7 + 1)
+            mem[dirty] ^= rng.integers(1, 256, len(dirty),
+                                       dtype=np.uint8)
+        expect = np.flatnonzero(mem != base)
+        got = _delta_indices(mem, base)
+        assert np.array_equal(got, expect)
+        assert np.array_equal(_delta_indices(base, base.copy()),
+                              np.empty(0, dtype=np.intp))
+
+
+def test_adaptive_cadence_stretches_only_defaulted_plans(tmp_path):
+    from repro.vortex.simx.checkpoint import (
+        ADAPT_MAX_EVERY_CYCLES,
+        DEFAULT_EVERY_CYCLES,
+    )
+
+    store = CheckpointStore(tmp_path, fingerprint="f")
+    assert CheckpointPlan(store, "p", every_cycles=EVERY).adaptive is False
+    plan = CheckpointPlan(store, "p")
+    assert plan.adaptive is True
+    assert plan.every_cycles == DEFAULT_EVERY_CYCLES
+
+    # An expensive snapshot right after the previous one (zero elapsed
+    # interval makes any positive cost exceed the target fraction).
+    control = plan.next_control()
+    control._prev_save_end = float("inf")  # force since=0 via max(.,0)
+    before = control.every_cycles
+    import repro.vortex.simx.checkpoint as ck
+
+    real_capture = ck.capture_state
+    ck.capture_state = lambda machine, now: {"now": now}
+    try:
+        control.save(machine=None, now=123)
+    finally:
+        ck.capture_state = real_capture
+    assert control.every_cycles == 2 * before
+    # the stretch is reported back to the plan for later launches...
+    assert plan.every_cycles == 2 * before
+    assert plan.next_control().every_cycles == 2 * before
+    # ...and is capped.
+    control.every_cycles = ADAPT_MAX_EVERY_CYCLES
+    ck.capture_state = lambda machine, now: {"now": now}
+    try:
+        control.save(machine=None, now=124)
+    finally:
+        ck.capture_state = real_capture
+    assert control.every_cycles == ADAPT_MAX_EVERY_CYCLES

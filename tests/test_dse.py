@@ -3,10 +3,19 @@
 import numpy as np
 import pytest
 
-from repro.harness.dse import DSEResult, explore_design_space
+from repro.harness.dse import (
+    Candidate,
+    DSEResult,
+    explore_design_space,
+    launch_rejection,
+    pareto_frontier,
+    workload_rejection,
+)
 from repro.hls import STRATIX10_MX2100, STRATIX10_SX2800
 from repro.ocl import NDRange
 from repro.vortex import KernelProfile, VortexConfig
+from repro.vortex.analytical import Prediction
+from repro.vortex.area import VortexAreaReport
 from repro.benchmarks import get_benchmark
 
 
@@ -113,3 +122,200 @@ class TestExploration:
         text = result.render()
         assert "Design-space exploration" in text
         assert "2c2w4t" in text or "2c4w4t" in text
+
+
+# -- hierarchical mode: frontier, tie-breaking, screens ----------------------
+
+
+def _cand(cores, warps, threads, cycles, aluts, simulated=None,
+          sim_error=None):
+    """A hand-built candidate (no models involved)."""
+    config = VortexConfig(cores=cores, warps=warps, threads=threads)
+    return Candidate(
+        config=config,
+        area=VortexAreaReport(config=config, aluts=aluts, ffs=0, brams=0,
+                              dsps=0),
+        prediction=Prediction(config_label=config.label(),
+                              issue_bound=float(cycles), memory_bound=0.0,
+                              latency_bound=0.0),
+        simulated_cycles=simulated,
+        sim_error=sim_error,
+    )
+
+
+class TestParetoFrontier:
+    def test_dominated_points_dropped(self):
+        a = _cand(1, 2, 2, cycles=100, aluts=10)
+        b = _cand(2, 2, 2, cycles=200, aluts=5)
+        dominated = _cand(4, 2, 2, cycles=300, aluts=20)  # slower & bigger
+        frontier = pareto_frontier([dominated, b, a])
+        assert [c.geometry for c in frontier] == [a.geometry, b.geometry]
+
+    def test_ties_keep_single_representative(self):
+        a = _cand(2, 2, 2, cycles=100, aluts=10)
+        b = _cand(2, 2, 4, cycles=100, aluts=10)  # identical both axes
+        frontier = pareto_frontier([b, a])
+        assert len(frontier) == 1
+        assert frontier[0].config.label() == min(a.config.label(),
+                                                 b.config.label())
+
+    def test_frontier_is_fastest_first_and_area_decreasing(self):
+        cands = [_cand(c, 2, 2, cycles=cyc, aluts=al)
+                 for c, cyc, al in ((1, 300, 3), (2, 100, 9),
+                                    (4, 200, 6), (8, 250, 8))]
+        frontier = pareto_frontier(cands)
+        cycles = [c.prediction.cycles for c in frontier]
+        aluts = [c.area.aluts for c in frontier]
+        assert cycles == sorted(cycles)
+        assert aluts == sorted(aluts, reverse=True)
+        assert (8, 2, 2) not in [c.geometry for c in frontier]
+
+
+class TestBestTieBreaking:
+    def test_simulated_beats_predicted(self):
+        fast_pred = _cand(1, 2, 2, cycles=10, aluts=5)
+        slow_sim = _cand(2, 2, 2, cycles=500, aluts=9, simulated=400)
+        result = DSEResult(device=STRATIX10_SX2800,
+                           candidates=[fast_pred, slow_sim])
+        assert result.best is slow_sim
+
+    def test_simulated_tie_breaks_to_smaller_area_then_label(self):
+        big = _cand(4, 2, 2, cycles=100, aluts=20, simulated=700)
+        small = _cand(2, 2, 2, cycles=100, aluts=10, simulated=700)
+        result = DSEResult(device=STRATIX10_SX2800,
+                           candidates=[big, small])
+        assert result.best is small
+        twin_a = _cand(2, 2, 4, cycles=100, aluts=10, simulated=700)
+        twin_b = _cand(2, 4, 2, cycles=100, aluts=10, simulated=700)
+        result = DSEResult(device=STRATIX10_SX2800,
+                           candidates=[twin_b, twin_a])
+        assert result.best.config.label() == min(twin_a.config.label(),
+                                                 twin_b.config.label())
+
+    def test_sim_errors_do_not_count_as_simulated(self):
+        errored = _cand(1, 2, 2, cycles=10, aluts=5,
+                        sim_error="ERROR(RuntimeLaunchError)")
+        ok = _cand(2, 2, 2, cycles=50, aluts=9)
+        result = DSEResult(device=STRATIX10_SX2800,
+                           candidates=[errored, ok])
+        # nothing was *successfully* simulated: prediction decides
+        assert result.best is errored
+
+    def test_predicted_tie_breaks_to_smaller_area(self):
+        big = _cand(4, 2, 2, cycles=100, aluts=20)
+        small = _cand(2, 2, 2, cycles=100, aluts=10)
+        result = DSEResult(device=STRATIX10_SX2800,
+                           candidates=[big, small])
+        assert result.best is small
+
+
+class TestScreens:
+    def test_launch_rejection(self):
+        assert launch_rejection(VortexConfig(cores=4, warps=4,
+                                             threads=4)) is None
+        assert launch_rejection(VortexConfig(cores=32, warps=8,
+                                             threads=2)) == "group-slots"
+        assert launch_rejection(VortexConfig(cores=8, warps=16,
+                                             threads=32)) == "stack-region"
+
+    def test_workload_rejection_vecadd(self):
+        reject = workload_rejection("vecadd", 1024)
+        # local = min(16, w*t): 16 divides 1024, 12 does not
+        assert reject(VortexConfig(cores=2, warps=4, threads=4)) is None
+        assert reject(VortexConfig(cores=2, warps=4,
+                                   threads=3)) == "workgroup"
+
+    def test_workload_rejection_transpose(self):
+        reject = workload_rejection("transpose", 1024)  # dim = 32
+        # cap=16 -> 4x4 tile divides 32
+        assert reject(VortexConfig(cores=2, warps=4, threads=4)) is None
+        # cap=12 -> lx=4, ly=3: 3 does not divide 32
+        assert reject(VortexConfig(cores=2, warps=4,
+                                   threads=3)) == "workgroup"
+
+    def test_workload_rejection_unknown_benchmark_passes_all(self):
+        reject = workload_rejection("sgemm", 1024)
+        assert reject(VortexConfig(cores=2, warps=4, threads=3)) is None
+
+    def test_reject_hook_recorded_with_reason(self, profile):
+        result = explore_design_space(
+            profile, core_counts=(2,), warp_sizes=(4,),
+            thread_sizes=(3, 4), reject=workload_rejection("vecadd", 1024),
+        )
+        assert [g for g, r in result.rejected
+                if r == "workgroup"] == [(2, 4, 3)]
+        assert [c.geometry for c in result.candidates] == [(2, 4, 4)]
+
+
+class TestHierarchicalExploration:
+    def test_confirms_only_the_frontier(self, profile):
+        simulated = []
+
+        def fake_sim(config):
+            simulated.append(config.label())
+            return 1_000_000
+
+        result = explore_design_space(
+            profile, core_counts=(1, 2, 4), warp_sizes=(2, 4, 8),
+            thread_sizes=(2, 4, 8), confirm_frontier=True,
+            simulate=fake_sim,
+        )
+        frontier_labels = {c.config.label() for c in result.frontier}
+        assert set(simulated) == frontier_labels
+        assert 0 < len(frontier_labels) < len(result.candidates)
+
+    def test_frontier_cap_limits_confirmations(self, profile):
+        simulated = []
+
+        def fake_sim(config):
+            simulated.append(config.label())
+            return 1_000_000
+
+        explore_design_space(
+            profile, core_counts=(1, 2, 4), warp_sizes=(2, 4, 8),
+            thread_sizes=(2, 4, 8), confirm_frontier=True,
+            frontier_cap=2, simulate=fake_sim,
+        )
+        assert len(simulated) == 2
+
+    def test_prune_keeps_a_floor_of_three(self, profile):
+        simulated = []
+
+        def fake_sim(config):
+            simulated.append(config.label())
+            return 1_000_000
+
+        result = explore_design_space(
+            profile, core_counts=(1, 2, 4), warp_sizes=(2, 4, 8),
+            thread_sizes=(2, 4, 8), confirm_frontier=True,
+            prune_rel_err=0.0, simulate=fake_sim,
+        )
+        # a zero stated error would prune to 1; the floor hedges to 3
+        assert len(simulated) == min(3, len(result.frontier))
+
+    def test_screen_throughput_recorded(self, profile):
+        result = explore_design_space(profile, core_counts=(1, 2, 4, 8),
+                                      warp_sizes=(2, 4, 8, 16),
+                                      thread_sizes=(2, 4, 8, 16))
+        assert result.screened == 64
+        assert result.screen_seconds > 0.0
+        assert result.screen_points_per_sec > 0.0
+
+    def test_payload_is_bounded_and_complete(self, profile):
+        result = explore_design_space(
+            profile, core_counts=(1, 2, 4), warp_sizes=(2, 4, 8, 16),
+            thread_sizes=(2, 4, 8, 16), confirm_frontier=True,
+            simulate=lambda config: 12345,
+        )
+        payload = result.to_payload()
+        assert payload["screened"] == 48
+        assert payload["feasible"] == len(result.candidates)
+        assert payload["rejected"] == len(result.rejected)
+        assert sum(payload["rejected_reasons"].values()) \
+            == payload["rejected"]
+        # only frontier/simulated candidates are itemised
+        assert len(payload["candidates"]) < payload["feasible"]
+        for row in payload["candidates"]:
+            assert row["on_frontier"] or row["simulated_cycles"] is not None
+        assert payload["best"]["config"] == result.best.config.label()
+        assert payload["frontier_size"] == len(result.frontier)
